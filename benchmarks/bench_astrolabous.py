@@ -1,0 +1,97 @@
+"""E4 — Astrolabous TLE: parallel encryption, sequential decryption.
+
+Claims: encryption needs q·τdec *independent* hash queries (one wrapper
+batch); decryption needs exactly q·τdec *sequential* queries (τdec rounds
+of q batches under the wrapper).
+"""
+
+import random
+
+from conftest import emit, once
+
+from repro.crypto.hashing import hash_bytes
+from repro.tle.astrolabous import PuzzleSolver, ast_decrypt, ast_encrypt, ast_solve
+
+
+def _hash(x: bytes) -> bytes:
+    return hash_bytes(x, domain=b"bench-oracle")
+
+
+def _counted_hash():
+    count = {"n": 0}
+
+    def fn(x: bytes) -> bytes:
+        count["n"] += 1
+        return _hash(x)
+
+    return fn, count
+
+
+def test_e4_query_counts(benchmark):
+    def sweep():
+        rows = []
+        rng = random.Random(1)
+        for tau in (1, 2, 4, 8):
+            for q in (2, 8):
+                enc_hash, enc_count = _counted_hash()
+                ct = ast_encrypt(
+                    b"m" * 32, difficulty=tau, rate=q, hash_fn=enc_hash, rng=rng
+                )
+                solve_hash, solve_count = _counted_hash()
+                witness = ast_solve(ct, solve_hash)
+                assert ast_decrypt(ct, witness) == b"m" * 32
+                rows.append(
+                    {
+                        "tau_dec": tau,
+                        "q": q,
+                        "enc_queries": enc_count["n"],
+                        "solve_queries": solve_count["n"],
+                        "claimed_q*tau": q * tau,
+                        "rounds_to_solve": tau,
+                    }
+                )
+                assert enc_count["n"] == q * tau
+                assert solve_count["n"] == q * tau
+        return rows
+
+    rows = once(benchmark, sweep)
+    emit(
+        "E4",
+        "Astrolabous: enc and solve both cost q*tau queries; solve is sequential",
+        rows,
+    )
+
+
+def test_e4_sequential_depth_is_tau_rounds(benchmark):
+    """With q queries per round, solving takes exactly tau rounds."""
+
+    def sweep():
+        rng = random.Random(2)
+        rows = []
+        for tau in (1, 3, 5):
+            q = 4
+            ct = ast_encrypt(b"x", difficulty=tau, rate=q, hash_fn=_hash, rng=rng)
+            solver = PuzzleSolver(ct)
+            rounds = 0
+            while not solver.solved:
+                solver.step(_hash, queries=q)  # one round's budget
+                rounds += 1
+            rows.append({"tau_dec": tau, "q": q, "rounds_used": rounds})
+            assert rounds == tau
+        return rows
+
+    rows = once(benchmark, sweep)
+    emit("E4b", "Sequential unwinding: q-per-round budget => tau rounds", rows)
+
+
+def test_e4_encrypt_wallclock(benchmark):
+    rng = random.Random(3)
+    benchmark(
+        lambda: ast_encrypt(b"m" * 64, difficulty=8, rate=8, hash_fn=_hash, rng=rng)
+    )
+
+
+def test_e4_solve_wallclock(benchmark):
+    rng = random.Random(4)
+    ct = ast_encrypt(b"m" * 64, difficulty=8, rate=8, hash_fn=_hash, rng=rng)
+    benchmark(lambda: ast_solve(ct, _hash))

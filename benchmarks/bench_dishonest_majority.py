@@ -1,0 +1,96 @@
+"""E8 — Dishonest majority: where Hevia06 breaks and ΠSBC does not.
+
+Claim (the paper's headline): prior UC SBC tolerates only t < n/2 — a
+coalition of ⌈n/2⌉ reconstructs honest messages inside the sharing phase
+of the VSS-based construction and correlates its own input.  The paper's
+TLE-based ΠSBC keeps simultaneity for every t < n.
+"""
+
+from conftest import emit, once
+
+from repro.attacks.rushing import SBCCopyAttack
+from repro.baselines.hevia import HeviaCoalitionAttack, HeviaSBCNetwork
+from repro.core import build_sbc_stack
+from repro.uc.environment import Environment
+from repro.uc.session import Session
+
+
+def _hevia_trial(n: int, coalition_size: int, seed: int = 7) -> bool:
+    coalition = [f"P{i}" for i in range(n - coalition_size, n)]
+    attack = HeviaCoalitionAttack(coalition)
+    session = Session(seed=seed, adversary=attack)
+    network = HeviaSBCNetwork.build(session, n=n)
+    attack.baseline = network
+    env = Environment(session)
+    env.run_round([("P0", lambda p: p.broadcast(b"secret"))])
+    env.run_rounds(4)
+    return bool(attack.learned)  # simultaneity broken?
+
+
+def _sbc_trial(n: int, coalition_size: int, seed: int = 7) -> bool:
+    attack = SBCCopyAttack(
+        attacker=f"P{n-1}", is_plaintext=lambda m: m == b"secret"
+    )
+    stack = build_sbc_stack(n=n, mode="hybrid", seed=seed, adversary=attack)
+    for i in range(n - coalition_size, n - 1):
+        stack.session.corrupt(f"P{i}")
+    stack.parties["P0"].broadcast(b"secret")
+    stack.run_until_delivery()
+    return bool(attack.plaintexts_seen)
+
+
+def test_e8_corruption_sweep(benchmark):
+    def sweep():
+        rows = []
+        n = 6
+        threshold = (n - 1) // 2
+        for coalition in range(1, n):
+            hevia_broken = _hevia_trial(n, coalition)
+            sbc_broken = _sbc_trial(n, coalition)
+            rows.append(
+                {
+                    "n": n,
+                    "coalition_t": coalition,
+                    "hevia_tolerates(t<n/2)": coalition <= threshold,
+                    "hevia_simultaneity_broken": hevia_broken,
+                    "sbc_simultaneity_broken": sbc_broken,
+                }
+            )
+            assert hevia_broken == (coalition > threshold), (
+                "the honest-majority baseline must break exactly past n/2"
+            )
+            assert not sbc_broken, "PiSBC must hold for every t < n"
+        return rows
+
+    rows = once(benchmark, sweep)
+    emit(
+        "E8",
+        "Honest-majority SBC breaks at t > n/2; PiSBC holds up to t = n-1",
+        rows,
+    )
+
+
+def test_e8_cliff_across_n(benchmark):
+    def sweep():
+        rows = []
+        for n in (4, 5, 6, 7):
+            threshold = (n - 1) // 2
+            below = _hevia_trial(n, threshold)
+            above = _hevia_trial(n, threshold + 1)
+            rows.append(
+                {
+                    "n": n,
+                    "t=floor((n-1)/2)": threshold,
+                    "broken_at_t": below,
+                    "broken_at_t+1": above,
+                }
+            )
+            assert not below and above
+        return rows
+
+    rows = once(benchmark, sweep)
+    emit("E8b", "The n/2 cliff of the VSS baseline, across n", rows)
+
+
+def test_e8_hevia_wallclock(benchmark):
+    benchmark(lambda: _hevia_trial(6, 3))

@@ -1,0 +1,64 @@
+"""E1 — Dolev–Strong ΠRBC (Fact 1): t+1 relay rounds, O(n²·t) messages.
+
+Claim: FRBC is realizable for any t < n; the realization costs t+1 relay
+rounds and at most n messages per relaying party per round.
+"""
+
+from conftest import emit
+
+from repro.protocols.dolev_strong import make_dolev_strong_instance
+from repro.uc.environment import Environment
+from repro.uc.session import Session
+
+
+def _run_instance(n: int, t: int, seed: int = 1):
+    session = Session(seed=seed)
+    pids = [f"P{i}" for i in range(n)]
+    parties = make_dolev_strong_instance(session, pids, "P0", t=t)
+    env = Environment(session)
+    for party in parties.values():
+        party.arm(0)
+    parties["P0"].broadcast(b"value")
+    rounds = 0
+    while not all(p.decided for p in parties.values()):
+        env.run_rounds(1)
+        rounds += 1
+        assert rounds < t + 5, "liveness failure"
+    return session, parties, rounds
+
+
+def test_e1_rounds_and_messages(benchmark):
+    def sweep():
+        rows = []
+        for n in (4, 7, 10, 13):
+            for t in (1, (n - 1) // 2, n - 1):
+                session, parties, rounds = _run_instance(n, t)
+                assert all(
+                    p.outputs[-1][1] == b"value" for p in parties.values()
+                ), "validity"
+                rows.append(
+                    {
+                        "n": n,
+                        "t": t,
+                        "relay_rounds": rounds,
+                        "claimed_rounds": t + 2,  # t+1 relays + decision round
+                        "p2p_messages": session.metrics.get("messages.p2p"),
+                        "bound_n2(t+1)": n * n * (t + 1),
+                        "signatures": session.metrics.get("sig.sign"),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for row in rows:
+        assert row["relay_rounds"] == row["claimed_rounds"]
+        assert row["p2p_messages"] <= row["bound_n2(t+1)"]
+    emit(
+        "E1",
+        "Dolev-Strong: rounds = t+2 (t+1 relays + decision), messages <= n^2(t+1)",
+        rows,
+    )
+
+
+def test_e1_wallclock(benchmark):
+    benchmark(lambda: _run_instance(7, 3))

@@ -1,0 +1,111 @@
+"""E10 — DURS (Theorem 3): an unbiasable beacon vs the naive strawman.
+
+Claim: a last-mover biases the commit-in-the-clear beacon with
+probability 1; against ΠDURS its blind submission leaves the output bit
+statistically fair; agreement and the ∆-round delivery hold throughout.
+"""
+
+from conftest import emit, once
+
+from repro.analysis.stats import bit_bias, uniformity_pvalue
+from repro.attacks.bias import BiasingContributor
+from repro.baselines.naive_beacon import build_naive_beacon
+from repro.core import build_durs_stack
+from repro.uc.environment import Environment
+from repro.uc.session import Session
+
+TRIALS = 24
+
+
+def _naive_trial(seed: int) -> bytes:
+    attack = BiasingContributor(attacker="P3", target_bit=0, expected_honest=3)
+    session = Session(seed=seed, adversary=attack)
+    parties = build_naive_beacon(session, [f"P{i}" for i in range(4)], close_round=2)
+    env = Environment(session)
+    env.run_round([(pid, lambda p: p.contribute()) for pid in parties])
+    env.run_rounds(3)
+    return parties["P0"].urs
+
+
+def _durs_trial(seed: int) -> bytes:
+    attack = BiasingContributor(attacker="P3", target_bit=0, phi=3)
+    stack = build_durs_stack(n=4, mode="hybrid", seed=seed, adversary=attack)
+    stack.parties["P0"].urs_request()
+    stack.run_until_urs()
+    return stack.urs_values()["P0"]
+
+
+def test_e10_bias_rates(benchmark):
+    def sweep():
+        naive = [_naive_trial(seed) for seed in range(TRIALS)]
+        durs = [_durs_trial(seed) for seed in range(1000, 1000 + TRIALS)]
+        return naive, durs
+
+    naive, durs = once(benchmark, sweep)
+    naive_rate = bit_bias(naive, bit=0)
+    durs_rate = bit_bias(durs, bit=0)
+    rows = [
+        {
+            "beacon": "naive (UBC, clear)",
+            "trials": TRIALS,
+            "P[bit=1]": naive_rate,
+            "p_value_fair": uniformity_pvalue(naive, bit=0),
+        },
+        {
+            "beacon": "PiDURS (SBC)",
+            "trials": TRIALS,
+            "P[bit=1]": durs_rate,
+            "p_value_fair": uniformity_pvalue(durs, bit=0),
+        },
+    ]
+    assert naive_rate == 0.0  # attacker forced the bit in every run
+    assert 0.2 <= durs_rate <= 0.8  # statistically fair
+    emit("E10", "Last-mover bias: total on the naive beacon, absent on DURS", rows)
+
+
+def test_e10_delivery_delay(benchmark):
+    """FDURS delivers exactly ∆ rounds after the first request."""
+
+    def sweep():
+        rows = []
+        for phi, delta in ((2, 5), (3, 6), (4, 9)):
+            stack = build_durs_stack(n=3, mode="hybrid", seed=2, phi=phi, delta=delta)
+            stack.parties["P0"].urs_request()
+            rounds = -1
+            while stack.urs_values()["P0"] is None:
+                stack.run_rounds(1)  # executes clock round `rounds + 1`
+                rounds += 1
+                assert rounds < delta + 3
+            rows.append({"phi": phi, "delta": delta, "delivered_round": rounds})
+            assert rounds == delta
+        return rows
+
+    rows = once(benchmark, sweep)
+    emit("E10b", "PiDURS delivery at exactly Delta rounds after first request", rows)
+
+
+def test_e10_agreement(benchmark):
+    def run():
+        stack = build_durs_stack(n=5, mode="hybrid", seed=3)
+        for pid in ("P0", "P2", "P4"):
+            stack.parties[pid].urs_request()
+        stack.run_until_urs()
+        stack.run_rounds(2)
+        values = {party.urs for party in stack.parties.values()}
+        assert len(values) == 1
+        return values
+
+    once(benchmark, run)
+    emit(
+        "E10c",
+        "All parties (requesters or not) agree on one URS",
+        [{"n": 5, "distinct_urs_values": 1}],
+    )
+
+
+def test_e10_naive_wallclock(benchmark):
+    benchmark(lambda: _naive_trial(5))
+
+
+def test_e10_durs_wallclock(benchmark):
+    benchmark(lambda: _durs_trial(5))

@@ -1,0 +1,125 @@
+"""E3 — ΠFBC (Lemma 2): delivery at exactly Δ=2; lock beats adaptive corruption.
+
+Claims: (i) every message is delivered to every honest party exactly two
+rounds after the request, independent of n and of activation order;
+(ii) corrupt-after-leak replacement — which succeeds on UBC with
+probability 1 — never lands on the fair channel once the value is locked.
+"""
+
+from conftest import emit, once
+
+from repro.attacks.adaptive import OutputRequestProbe, UBCReplaceAttack
+from repro.core.stacks import build_fbc_fixture
+from repro.functionalities.dummy import DummyBroadcastParty
+from repro.functionalities.fbc import FairBroadcast
+from repro.functionalities.ubc import UnfairBroadcast
+from repro.uc.environment import Environment
+from repro.uc.session import Session
+
+
+def _real_world(n, seed=1, q=4, adversary=None):
+    session = Session(seed=seed, adversary=adversary)
+    fixture = build_fbc_fixture(session, q=q)
+    parties = {}
+    for i in range(n):
+        party = DummyBroadcastParty(session, f"P{i}", fixture.fbc)
+        fixture.fbc.attach(party)
+        parties[f"P{i}"] = party
+    return session, fixture, parties, Environment(session)
+
+
+def _delivery_delay(n, q, seed=1):
+    session, fixture, parties, env = _real_world(n, seed=seed, q=q)
+    env.run_round([("P0", lambda p: p.broadcast(b"m"))])
+    rounds = 0
+    while not all(p.outputs for p in parties.values()):
+        env.run_rounds(1)
+        rounds += 1
+        assert rounds < 10
+    return rounds + 1, session  # +1: request round itself
+
+
+def test_e3_delivery_exactly_two_rounds(benchmark):
+    def sweep():
+        rows = []
+        for n in (3, 5, 8):
+            for q in (2, 4, 8):
+                elapsed, session = _delivery_delay(n, q)
+                rows.append(
+                    {
+                        "n": n,
+                        "q": q,
+                        "delivery_rounds": elapsed - 1,
+                        "claimed_delta": 2,
+                        "ro_batches": session.metrics.get("ro.F*RO:fbc"),
+                    }
+                )
+                assert elapsed - 1 == 2, "Lemma 2: Delta = 2"
+        return rows
+
+    rows = once(benchmark, sweep)
+    emit("E3", "PiFBC delivers after exactly Delta=2 rounds for all n, q", rows)
+
+
+def test_e3_simulator_advantage_alpha_equals_two(benchmark):
+    """On the ideal F^{2,2}_FBC the value is readable at age Δ−α = 0."""
+
+    def run():
+        probe = OutputRequestProbe()
+        session = Session(seed=2, adversary=probe)
+        fbc = FairBroadcast(session, delta=2, alpha=2)
+        parties = {
+            f"P{i}": DummyBroadcastParty(session, f"P{i}", fbc) for i in range(3)
+        }
+        env = Environment(session)
+        env.run_round([("P0", lambda p: p.broadcast(b"m"))])
+        env.run_rounds(3)
+        return probe.reveal_ages
+
+    ages = once(benchmark, run)
+    assert ages == [0]
+    emit(
+        "E3b",
+        "Ideal F(2,2)_FBC: adversary reads at request age Delta-alpha = 0",
+        [{"delta": 2, "alpha": 2, "reveal_age": ages[0]}],
+    )
+
+
+def test_e3_lock_defeats_replacement(benchmark):
+    """Replacement attempts on locked values fail; on UBC they succeed."""
+
+    def run():
+        rows = []
+        # Ideal FBC, attempt after the lock:
+        session = Session(seed=3)
+        fbc = FairBroadcast(session, delta=2, alpha=0)
+        parties = {
+            f"P{i}": DummyBroadcastParty(session, f"P{i}", fbc) for i in range(3)
+        }
+        env = Environment(session)
+        tag = fbc.broadcast(parties["P0"], b"good")
+        env.run_rounds(2)
+        assert fbc.adv_output_request(tag) is not None  # lock it
+        session.corrupt("P0")
+        landed = fbc.adv_allow(tag, b"evil", "P0")
+        rows.append({"channel": "FBC (locked)", "replacement_landed": landed})
+        assert not landed
+
+        # UBC for contrast:
+        attack = UBCReplaceAttack(victim="P0", replacement=b"evil")
+        session2 = Session(seed=3, adversary=attack)
+        ubc = UnfairBroadcast(session2)
+        parties2 = {
+            f"P{i}": DummyBroadcastParty(session2, f"P{i}", ubc) for i in range(3)
+        }
+        Environment(session2).run_round([("P0", lambda p: p.broadcast(b"good"))])
+        rows.append({"channel": "UBC", "replacement_landed": bool(attack.replaced)})
+        assert attack.replaced
+        return rows
+
+    rows = once(benchmark, run)
+    emit("E3c", "Adaptive replacement: lands on UBC, never on locked FBC", rows)
+
+
+def test_e3_wallclock(benchmark):
+    benchmark(lambda: _delivery_delay(5, 4))

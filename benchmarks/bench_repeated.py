@@ -1,0 +1,63 @@
+"""E13 — Repeated SBC runs: amortization over a shared substrate ([FKL08]).
+
+Claim (motivating [FKL08], cited in Section 1): SBC is usually run
+repeatedly, so the per-run marginal cost matters.  Sharing the substrate
+(clock, UBC channel, TLE service, oracles) across periods keeps the
+marginal period cost flat and below a cold-started session.
+"""
+
+import time
+
+from conftest import emit, once
+
+from repro.core import build_sbc_stack
+from repro.core.repeated import RepeatedSBC
+
+
+def _cold_period(seed: int) -> float:
+    start = time.perf_counter()
+    stack = build_sbc_stack(n=3, mode="hybrid", seed=seed, phi=4, delta=2)
+    stack.parties["P0"].broadcast(b"m")
+    stack.run_until_delivery()
+    return time.perf_counter() - start
+
+
+def test_e13_amortized_periods(benchmark):
+    def sweep():
+        rows = []
+        runner = RepeatedSBC(n=3, seed=20, phi=4, delta=2)
+        for period in range(5):
+            before = runner.session.metrics.snapshot()
+            start = time.perf_counter()
+            delivered = runner.run_period({"P0": f"m{period}".encode()})
+            elapsed = time.perf_counter() - start
+            diff = runner.session.metrics.diff(before)
+            assert all(batch == [f"m{period}".encode()] for batch in delivered.values())
+            rows.append(
+                {
+                    "period": period,
+                    "warm_wall_s": elapsed,
+                    "messages": diff.get("messages.total", 0),
+                    "rounds": diff.get("rounds.advanced", 0),
+                }
+            )
+        cold = sum(_cold_period(seed) for seed in range(3)) / 3
+        rows.append(
+            {"period": "cold-start avg", "warm_wall_s": cold, "messages": "-", "rounds": "-"}
+        )
+        return rows
+
+    rows = once(benchmark, sweep)
+    warm = [row["warm_wall_s"] for row in rows if isinstance(row["period"], int)]
+    # marginal periods are stable (no blow-up as state accumulates):
+    assert max(warm[1:]) < 5 * min(warm[1:])
+    # and per-period message cost is identical every period:
+    messages = {row["messages"] for row in rows if isinstance(row["period"], int)}
+    assert len(messages) == 1
+    emit("E13", "Repeated SBC periods: flat marginal cost on a shared substrate", rows)
+
+
+def test_e13_wallclock(benchmark):
+    runner = RepeatedSBC(n=3, seed=21, phi=4, delta=2)
+    counter = iter(range(10_000))
+    benchmark(lambda: runner.run_period({"P0": f"m{next(counter)}".encode()}))

@@ -1,0 +1,100 @@
+"""E6 — ΠSBC (Theorem 2, Corollary 1): constant-round SBC, delivery at Φ+Δ.
+
+Claims: delivery happens exactly Δ rounds after the broadcast period ends
+(Φ + Δ from its start), independent of n; the fully-composed stack
+(Corollary 1: Φ > 3, Δ > 2, α = 3) produces the same outputs as the
+hybrid and ideal worlds; cost scales with n in messages, not rounds.
+"""
+
+from conftest import emit, once
+
+from repro.core import build_sbc_stack
+
+
+def _run(mode: str, n: int, phi: int, delta: int, seed: int = 6, senders=2):
+    stack = build_sbc_stack(n=n, mode=mode, seed=seed, phi=phi, delta=delta)
+    for i in range(senders):
+        stack.parties[f"P{i}"].broadcast(f"msg-{i}".encode())
+    delivered_at = None
+    for round_index in range(phi + delta + 3):
+        stack.run_rounds(1)  # executes clock round `round_index`
+        if all(p.outputs for p in stack.parties.values()):
+            delivered_at = round_index
+            break
+    return stack, delivered_at
+
+
+def test_e6_delivery_round_constant_in_n(benchmark):
+    def sweep():
+        rows = []
+        phi, delta = 5, 3
+        for mode in ("ideal", "hybrid", "composed"):
+            for n in (3, 5, 8):
+                stack, delivered_at = _run(mode, n, phi, delta)
+                rows.append(
+                    {
+                        "mode": mode,
+                        "n": n,
+                        "phi": phi,
+                        "delta": delta,
+                        "delivered_round": delivered_at,
+                        "claimed": phi + delta,
+                        "messages": stack.session.metrics.get("messages.total"),
+                    }
+                )
+                assert delivered_at == phi + delta
+        return rows
+
+    rows = once(benchmark, sweep)
+    emit("E6", "SBC delivery at exactly phi+delta, for all n and all worlds", rows)
+
+
+def test_e6_phi_delta_sweep(benchmark):
+    def sweep():
+        rows = []
+        for phi, delta in ((4, 3), (5, 3), (6, 4), (8, 5)):
+            stack, delivered_at = _run("composed", 4, phi, delta)
+            rows.append(
+                {
+                    "phi": phi,
+                    "delta": delta,
+                    "delivered_round": delivered_at,
+                    "claimed": phi + delta,
+                }
+            )
+            assert delivered_at == phi + delta
+        return rows
+
+    rows = once(benchmark, sweep)
+    emit("E6b", "Composed SBC across (phi, delta): delivery tracks phi+delta", rows)
+
+
+def test_e6_worlds_agree(benchmark):
+    def run():
+        batches = {}
+        for mode in ("ideal", "hybrid", "composed"):
+            stack, _ = _run(mode, 4, 5, 3, seed=123, senders=3)
+            batches[mode] = stack.delivered()
+        assert batches["ideal"] == batches["hybrid"] == batches["composed"]
+        return batches
+
+    batches = once(benchmark, run)
+    emit(
+        "E6c",
+        "Corollary 1 composition: identical outputs in all three worlds",
+        [
+            {
+                "worlds": "ideal/hybrid/composed",
+                "batches_equal": True,
+                "batch": str(batches["ideal"]["P0"]),
+            }
+        ],
+    )
+
+
+def test_e6_hybrid_wallclock(benchmark):
+    benchmark(lambda: _run("hybrid", 4, 5, 3))
+
+
+def test_e6_composed_wallclock(benchmark):
+    benchmark(lambda: _run("composed", 4, 5, 3))

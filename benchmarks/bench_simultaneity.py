@@ -1,0 +1,73 @@
+"""E7 — Simultaneity: copy-attack success rate, UBC vs ΠSBC.
+
+Claim: the rushing copy attack (see honest message, submit it as your
+own) succeeds with probability 1 over plain UBC and probability 0 over
+ΠSBC, where the adversary's pre-release view contains only TLE
+ciphertexts and masks.
+"""
+
+from conftest import emit, once
+
+from repro.attacks.rushing import SBCCopyAttack, UBCCopyAttack
+from repro.core import build_sbc_stack
+from repro.functionalities.dummy import DummyBroadcastParty
+from repro.functionalities.ubc import UnfairBroadcast
+from repro.uc.environment import Environment
+from repro.uc.session import Session
+
+TRIALS = 10
+
+
+def _ubc_trial(seed: int) -> bool:
+    attack = UBCCopyAttack(attacker="P2")
+    session = Session(seed=seed, adversary=attack)
+    ubc = UnfairBroadcast(session)
+    parties = {f"P{i}": DummyBroadcastParty(session, f"P{i}", ubc) for i in range(3)}
+    secret = f"bid-{seed}".encode()
+    Environment(session).run_round([("P0", lambda p: p.broadcast(secret))])
+    received = [m for _, m, _ in parties["P1"].outputs]
+    return received.count(secret) == 2  # the copy landed
+
+
+def _sbc_trial(seed: int, mode: str) -> bool:
+    secret = f"bid-{seed}".encode()
+    attack = SBCCopyAttack(attacker="P3", is_plaintext=lambda m: m == secret)
+    stack = build_sbc_stack(n=4, mode=mode, seed=seed, adversary=attack)
+    stack.parties["P0"].broadcast(secret)
+    stack.run_until_delivery()
+    if attack.plaintexts_seen:
+        return True  # adversary read the plaintext early: attack succeeded
+    batch = [o[1] for o in stack.parties["P1"].outputs if o[0] == "Broadcast"][-1]
+    return batch.count(secret) >= 2  # or its replay was accepted
+
+
+def test_e7_copy_attack_rates(benchmark):
+    def sweep():
+        rows = []
+        ubc_wins = sum(_ubc_trial(seed) for seed in range(TRIALS))
+        rows.append(
+            {"channel": "UBC", "trials": TRIALS, "copy_success_rate": ubc_wins / TRIALS}
+        )
+        assert ubc_wins == TRIALS
+        for mode in ("hybrid", "composed"):
+            wins = sum(_sbc_trial(seed, mode) for seed in range(TRIALS))
+            rows.append(
+                {
+                    "channel": f"PiSBC ({mode})",
+                    "trials": TRIALS,
+                    "copy_success_rate": wins / TRIALS,
+                }
+            )
+            assert wins == 0
+        return rows
+
+    rows = once(benchmark, sweep)
+    emit("E7", "Copy attack: 100% on UBC, 0% on PiSBC (simultaneity)", rows)
+
+
+def test_e7_ubc_trial_wallclock(benchmark):
+    benchmark(lambda: _ubc_trial(1))
+
+
+def test_e7_sbc_trial_wallclock(benchmark):
+    benchmark(lambda: _sbc_trial(1, "hybrid"))

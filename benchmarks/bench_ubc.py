@@ -1,0 +1,68 @@
+"""E2 — ΠUBC (Lemma 1): multi-sender multi-message unfair broadcast.
+
+Claim: any number of senders may broadcast any number of messages per
+round; everything is delivered within the round, and the real adapter's
+outputs coincide with the ideal ``FUBC``.
+"""
+
+from conftest import emit, once
+
+from repro.functionalities.dummy import DummyBroadcastParty
+from repro.functionalities.ubc import UnfairBroadcast
+from repro.protocols.ubc_protocol import UBCProtocolAdapter
+from repro.uc.environment import Environment
+from repro.uc.session import Session
+
+
+def _run(real: bool, n: int, messages_per_party: int, seed: int = 3):
+    session = Session(seed=seed)
+    service = UBCProtocolAdapter(session) if real else UnfairBroadcast(session)
+    parties = {
+        f"P{i}": DummyBroadcastParty(session, f"P{i}", service) for i in range(n)
+    }
+    env = Environment(session)
+    actions = [
+        (pid, (lambda m: (lambda p: p.broadcast(m)))(f"{pid}:{j}".encode()))
+        for pid in parties
+        for j in range(messages_per_party)
+    ]
+    env.run_round(actions)
+    return session, parties
+
+
+def test_e2_throughput_and_equivalence(benchmark):
+    def sweep():
+        rows = []
+        for n in (3, 6, 9):
+            for k in (1, 4):
+                outputs = {}
+                for real in (False, True):
+                    session, parties = _run(real, n, k)
+                    outputs[real] = {
+                        pid: sorted(m for _, m, _ in p.outputs)
+                        for pid, p in parties.items()
+                    }
+                    total = sum(len(v) for v in outputs[real].values())
+                    assert total == n * (n * k)  # everyone got everything
+                assert outputs[False] == outputs[True], "Lemma 1: ideal == real"
+                rows.append(
+                    {
+                        "n": n,
+                        "msgs/party": k,
+                        "delivered_total": n * n * k,
+                        "rounds": 1,
+                        "ideal==real": True,
+                    }
+                )
+        return rows
+
+    rows = once(benchmark, sweep)
+    emit("E2", "UBC: one-round delivery at any load; PiUBC == FUBC", rows)
+
+
+def test_e2_wallclock_ideal(benchmark):
+    benchmark(lambda: _run(False, 6, 4))
+
+
+def test_e2_wallclock_real(benchmark):
+    benchmark(lambda: _run(True, 6, 4))

@@ -1,0 +1,101 @@
+"""E12 — Resource restriction (Section 3.2 items 2–4).
+
+Claims: under ``Wq`` a party gets q sequential oracle batches per round,
+so (i) a difficulty-2 puzzle cannot be solved in the round it arrives —
+not even by an adversary spending its whole budget — and (ii) honest
+parties' encrypt+solve schedule fits the budget exactly; difficulty 1
+*would* be solvable within the receipt round, which is why the paper
+mandates difficulty 2.
+"""
+
+import random
+
+import pytest
+from conftest import emit, once
+
+from repro.functionalities.random_oracle import RandomOracle
+from repro.functionalities.wrapper import QueryWrapper
+from repro.tle.astrolabous import PuzzleSolver, ast_encrypt
+from repro.uc.entity import Party
+from repro.uc.errors import ResourceExhausted
+from repro.uc.session import Session
+
+
+def _fresh(q: int, seed: int = 1):
+    session = Session(seed=seed)
+    oracle = RandomOracle(session, fid="F*RO")
+    wrapper = QueryWrapper(session, oracle, q=q)
+    Party(session, "A")  # the adversary's corrupted mule
+    session.corrupt("A")
+    return session, oracle, wrapper
+
+
+def _attempt_same_round_solve(q: int, difficulty: int) -> int:
+    """Try to solve a difficulty-d puzzle within one round; return links done."""
+    session, oracle, wrapper = _fresh(q)
+    rng = random.Random(7)
+    ct = ast_encrypt(
+        b"secret", difficulty=difficulty, rate=q, hash_fn=oracle.hash_fn("enc"), rng=rng
+    )
+    solver = PuzzleSolver(ct)
+    done = 0
+    try:
+        while not solver.solved:
+            solver.absorb(wrapper.evaluate_one("A", solver.next_query()))
+            done += 1
+    except ResourceExhausted:
+        pass
+    return done
+
+
+def test_e12_difficulty_two_unsolvable_in_one_round(benchmark):
+    def sweep():
+        rows = []
+        for q in (2, 4, 8, 16):
+            done_d2 = _attempt_same_round_solve(q, difficulty=2)
+            done_d1 = _attempt_same_round_solve(q, difficulty=1)
+            rows.append(
+                {
+                    "q": q,
+                    "difficulty1_links_done": done_d1,
+                    "difficulty1_solved_same_round": done_d1 >= q,
+                    "difficulty2_links_done": done_d2,
+                    "difficulty2_solved_same_round": done_d2 >= 2 * q,
+                }
+            )
+            assert done_d1 == q  # difficulty 1 falls within the round...
+            assert done_d2 == q  # ...difficulty 2 never does (Sec. 3.2 item 4)
+        return rows
+
+    rows = once(benchmark, sweep)
+    emit(
+        "E12",
+        "Rushing adversary, one round of budget: difficulty 1 falls, 2 stands",
+        rows,
+    )
+
+
+def test_e12_budget_is_sequential_depth_not_width(benchmark):
+    def run():
+        session, oracle, wrapper = _fresh(q=3)
+        Party(session, "H")
+        # One batch of 1000 points costs a single query...
+        wrapper.evaluate("H", [bytes([i % 256, i // 256]) for i in range(1000)])
+        assert wrapper.used("H") == 1
+        # ...but a 4th sequential batch is refused.
+        wrapper.evaluate("H", [b"a"])
+        wrapper.evaluate("H", [b"b"])
+        with pytest.raises(ResourceExhausted):
+            wrapper.evaluate("H", [b"c"])
+        return True
+
+    once(benchmark, run)
+    emit(
+        "E12b",
+        "Wq bounds sequential depth (batches), not parallel width (points)",
+        [{"q": 3, "points_in_one_batch": 1000, "batches_allowed": 3}],
+    )
+
+
+def test_e12_wallclock(benchmark):
+    benchmark(lambda: _attempt_same_round_solve(8, 2))

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Multi-party coin flipping — the classic SBC application ([CGMA85]).
+
+Two (or more) mutually-distrusting parties want a fair coin.  Blum-style
+commit/reveal over an ordinary channel is vulnerable to the party who
+reveals last (they can abort or, over an unfair channel, choose after
+seeing the other side).  Simultaneous broadcast removes the ordering:
+everyone's contribution is locked before anyone's is visible, so the XOR
+of the contributions' first bits is a fair coin even if all but one
+participant collude.
+
+This script flips a series of coins via ΠDURS and shows the empirical
+distribution, then demonstrates the collusion attempt failing.
+
+Run:  python examples/coin_flip.py
+"""
+
+from repro.analysis.stats import bit_bias
+from repro.attacks.bias import BiasingContributor
+from repro.core import build_durs_stack
+
+FLIPS = 12
+
+
+def fair_flip(seed: int) -> int:
+    """One coin flip among four parties, nobody corrupted."""
+    stack = build_durs_stack(n=4, mode="hybrid", seed=seed)
+    stack.parties["P0"].urs_request()
+    stack.run_until_urs()
+    urs = stack.urs_values()["P0"]
+    return urs[0] >> 7
+
+
+def adversarial_flip(seed: int) -> int:
+    """One flip where a last-mover tries to force heads (bit = 0)."""
+    attack = BiasingContributor(attacker="P3", target_bit=0, phi=3)
+    stack = build_durs_stack(n=4, mode="hybrid", seed=seed, adversary=attack)
+    stack.parties["P0"].urs_request()
+    stack.run_until_urs()
+    urs = stack.urs_values()["P0"]
+    return urs[0] >> 7
+
+
+def main() -> None:
+    print(f"Flipping {FLIPS} coins over simultaneous broadcast...\n")
+    honest = [fair_flip(seed) for seed in range(FLIPS)]
+    print(f"honest flips:      {honest}")
+    print(f"  heads rate: {1 - sum(honest) / FLIPS:.2f}\n")
+
+    rigged = [adversarial_flip(seed) for seed in range(500, 500 + FLIPS)]
+    print(f"one party colludes to force heads:")
+    print(f"adversarial flips: {rigged}")
+    print(f"  heads rate: {1 - sum(rigged) / FLIPS:.2f}  "
+          f"<- still a coin: its contribution locked in blind")
+
+    assert 0 < sum(rigged) < FLIPS, "the coin must stay random under attack"
+
+
+if __name__ == "__main__":
+    main()

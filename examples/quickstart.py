@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: simultaneous broadcast in three worlds.
+
+Runs the same three-sender session against the ideal functionality, the
+hybrid-world protocol (ΠSBC over ideal FUBC/FTLE), and the fully-composed
+Corollary 1 stack (ΠSBC over ΠUBC and ΠTLE-over-ΠFBC, resource-metered),
+and shows that every honest party receives the identical sorted batch at
+the identical round in all three.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import build_sbc_stack
+
+
+def main() -> None:
+    messages = {
+        "P0": b"alice: commit 0xA1",
+        "P1": b"bob:   commit 0xB2",
+        "P2": b"carol: commit 0xC3",
+    }
+
+    results = {}
+    for mode in ("ideal", "hybrid", "composed"):
+        stack = build_sbc_stack(n=4, mode=mode, seed=2024)
+        for pid, message in messages.items():
+            stack.parties[pid].broadcast(message)
+        final_round = stack.run_until_delivery()
+        results[mode] = (stack.delivered(), final_round)
+        print(f"--- {mode} world ---")
+        print(f"  broadcast period: rounds 0..{stack.phi}")
+        print(f"  release round:    {stack.phi + stack.delta}")
+        batch = results[mode][0]["P3"]
+        for item in batch:
+            print(f"  P3 received: {item!r}")
+
+    batches = {mode: r[0] for mode, r in results.items()}
+    assert batches["ideal"] == batches["hybrid"] == batches["composed"]
+    print("\nAll three worlds delivered identical batches — the executable")
+    print("content of Theorem 2 and Corollary 1.")
+
+
+if __name__ == "__main__":
+    main()

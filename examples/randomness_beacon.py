@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Distributed randomness beacon (the paper's DURS application).
+
+A set of mutually-distrusting parties want a shared uniform random
+string — e.g. to seed a lottery or a committee election.  The naive
+design (everyone posts randomness, XOR it all) is biasable by whoever
+posts last.  ΠDURS (Theorem 3) routes the contributions through
+simultaneous broadcast, so the last mover commits blind and the output
+stays uniform even against n−1 corruptions.
+
+This script runs both designs under the same last-mover adversary, many
+times, and prints the measured bias.
+
+Run:  python examples/randomness_beacon.py
+"""
+
+from repro.analysis.stats import bit_bias
+from repro.attacks.bias import BiasingContributor
+from repro.baselines.naive_beacon import build_naive_beacon
+from repro.core import build_durs_stack
+from repro.uc.environment import Environment
+from repro.uc.session import Session
+
+TRIALS = 20
+
+
+def naive_trial(seed: int) -> bytes:
+    attack = BiasingContributor(attacker="P3", target_bit=0, expected_honest=3)
+    session = Session(seed=seed, adversary=attack)
+    parties = build_naive_beacon(session, [f"P{i}" for i in range(4)], close_round=2)
+    env = Environment(session)
+    env.run_round([(pid, lambda p: p.contribute()) for pid in parties])
+    env.run_rounds(3)
+    return parties["P0"].urs
+
+
+def durs_trial(seed: int) -> bytes:
+    attack = BiasingContributor(attacker="P3", target_bit=0, phi=3)
+    stack = build_durs_stack(n=4, mode="hybrid", seed=seed, adversary=attack)
+    stack.parties["P0"].urs_request()
+    stack.run_until_urs()
+    return stack.urs_values()["P0"]
+
+
+def main() -> None:
+    print(f"Last-mover adversary targets the output's first bit = 0, "
+          f"{TRIALS} runs each.\n")
+
+    naive = [naive_trial(seed) for seed in range(TRIALS)]
+    print("Naive beacon (contributions in the clear over UBC):")
+    print(f"  sample outputs: {[v.hex()[:8] for v in naive[:4]]} ...")
+    print(f"  P[first bit = 1] = {bit_bias(naive):.2f}   <- fully biased\n")
+
+    durs = [durs_trial(seed) for seed in range(100, 100 + TRIALS)]
+    print("DURS beacon (contributions via simultaneous broadcast):")
+    print(f"  sample outputs: {[v.hex()[:8] for v in durs[:4]]} ...")
+    print(f"  P[first bit = 1] = {bit_bias(durs):.2f}   <- statistically fair")
+
+    assert bit_bias(naive) == 0.0
+    assert 0.15 <= bit_bias(durs) <= 0.85
+
+
+if __name__ == "__main__":
+    main()

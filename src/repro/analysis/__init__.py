@@ -1,0 +1,15 @@
+"""Result analysis: tables, attack statistics, cost reports."""
+
+from repro.analysis.complexity import CostReport, cost_report, per_party_oracle_use
+from repro.analysis.tables import format_table
+from repro.analysis.stats import bit_bias, proportion, uniformity_pvalue
+
+__all__ = [
+    "CostReport",
+    "bit_bias",
+    "cost_report",
+    "format_table",
+    "per_party_oracle_use",
+    "proportion",
+    "uniformity_pvalue",
+]

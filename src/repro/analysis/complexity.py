@@ -1,0 +1,67 @@
+"""Cost reports from a session's metrics: the paper's units, summarized.
+
+A :class:`CostReport` snapshots the quantities the paper argues about —
+rounds elapsed, broadcast/point-to-point messages, wrapped-oracle batches
+and total hash points, signatures — so benchmarks and examples can print
+a one-call cost breakdown of any execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.uc.session import Session
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Aggregated execution costs in the paper's units."""
+
+    rounds: int
+    messages_total: int
+    messages_p2p: int
+    ro_batches: int
+    ro_points: int
+    signatures: int
+    verifications: int
+    corruptions: int
+
+    def as_row(self) -> Dict[str, int]:
+        """Dict form, ready for :func:`repro.analysis.tables.format_table`."""
+        return {
+            "rounds": self.rounds,
+            "messages": self.messages_total,
+            "p2p": self.messages_p2p,
+            "ro_batches": self.ro_batches,
+            "ro_points": self.ro_points,
+            "sig": self.signatures,
+            "verify": self.verifications,
+            "corruptions": self.corruptions,
+        }
+
+
+def cost_report(session: "Session") -> CostReport:
+    """Snapshot the session's accumulated costs."""
+    metrics = session.metrics
+    return CostReport(
+        rounds=session.clock.time,
+        messages_total=metrics.get("messages.total"),
+        messages_p2p=metrics.get("messages.p2p"),
+        ro_batches=metrics.get("ro.batches"),
+        ro_points=metrics.get("ro.points"),
+        signatures=metrics.get("sig.sign"),
+        verifications=metrics.get("sig.verify"),
+        corruptions=metrics.get("corruptions"),
+    )
+
+
+def per_party_oracle_use(session: "Session") -> Dict[str, int]:
+    """Oracle queries attributed per entity (``ro.by.*`` counters)."""
+    prefix = "ro.by."
+    return {
+        key[len(prefix):]: value
+        for key, value in session.metrics.counters.items()
+        if key.startswith(prefix)
+    }

@@ -1,0 +1,44 @@
+"""Small statistics helpers for the security benchmarks.
+
+Used to quantify attack success rates (proportions over trials) and the
+uniformity of beacon outputs (E10).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def proportion(successes: int, trials: int) -> float:
+    """Success rate; 0.0 for zero trials."""
+    return successes / trials if trials else 0.0
+
+
+def bit_bias(values: Sequence[bytes], bit: int = 0) -> float:
+    """Empirical P[selected bit == 1] over byte-string samples.
+
+    ``bit`` counts from the most significant bit of byte 0.
+    """
+    if not values:
+        return 0.0
+    byte_index, bit_index = divmod(bit, 8)
+    ones = sum(
+        1 for value in values if (value[byte_index] >> (7 - bit_index)) & 1
+    )
+    return ones / len(values)
+
+
+def uniformity_pvalue(values: Sequence[bytes], bit: int = 0) -> float:
+    """Two-sided binomial-normal p-value that the selected bit is fair.
+
+    A tiny p-value indicates bias.  Uses the normal approximation, which
+    is adequate for the trial counts the benchmarks run.
+    """
+    n = len(values)
+    if n == 0:
+        return 1.0
+    p_hat = bit_bias(values, bit)
+    z = abs(p_hat - 0.5) / math.sqrt(0.25 / n)
+    # Two-sided tail of the standard normal via erfc.
+    return math.erfc(z / math.sqrt(2))

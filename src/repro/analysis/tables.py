@@ -1,0 +1,50 @@
+"""Plain-text table formatting for benchmark output.
+
+Benchmarks print the rows the paper's claims predict; keeping the
+formatter here avoids every benchmark re-inventing column alignment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict-rows as an aligned text table."""
+    if not rows:
+        return title or "(no rows)"
+    columns = list(columns) if columns else list(rows[0])
+    widths = {column: len(column) for column in columns}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for column in columns:
+            text = _cell(row.get(column))
+            widths[column] = max(widths[column], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("  ".join("-" * widths[column] for column in columns))
+    for cells in rendered:
+        lines.append(
+            "  ".join(cell.ljust(widths[column]) for cell, column in zip(cells, columns))
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if value is None:
+        return "-"
+    return str(value)

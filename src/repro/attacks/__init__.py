@@ -1,0 +1,29 @@
+"""Adversary strategies exercising the paper's security claims.
+
+===================  ======================================================
+Module               What it attacks / demonstrates
+===================  ======================================================
+``rushing``          Copy/correlation attacks on broadcast: succeeds
+                     against plain UBC (no simultaneity), fails against
+                     ΠSBC (TLE hides honest plaintexts until τ_rel).
+``adaptive``         Mid-round adaptive corruption: message replacement
+                     succeeds against UBC (unfair) and against FBC before
+                     the lock, never after — the fairness boundary of
+                     Figure 10.
+``bias``             Randomness biasing: a last-mover biases a naive
+                     commit-in-the-clear beacon at will, but cannot bias
+                     ΠDURS.
+===================  ======================================================
+"""
+
+from repro.attacks.rushing import SBCCopyAttack, UBCCopyAttack
+from repro.attacks.adaptive import FBCReplaceAttack, OutputRequestProbe, UBCReplaceAttack
+from repro.attacks.bias import BiasingContributor
+
+__all__ = [
+    "BiasingContributor",
+    "FBCReplaceAttack",
+    "OutputRequestProbe",
+    "SBCCopyAttack",
+    "UBCCopyAttack",
+]

@@ -1,0 +1,150 @@
+"""Adaptive mid-round corruption attacks: the fairness boundary.
+
+The strong non-atomic model lets the adversary corrupt a sender *after*
+seeing its message but *before* the sender completes its round.  What the
+adversary can then do differs by layer, and that difference is the
+paper's Section 3:
+
+* ``FUBC`` (Figure 8): the pending message may be **replaced** via
+  ``Allow`` — unfair broadcast.
+* ``F∆,α_FBC`` (Figure 10): replacement works only until the message is
+  **locked** (at ``∆ − α`` rounds after the request, or the moment the
+  simulator reads it).  ΠFBC achieves the lock computationally: by the
+  time anyone (including the adversary) can open the time-lock puzzle,
+  the pair ``(c, y)`` is already in everyone's hands.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.uc.adversary import Adversary
+
+
+class UBCReplaceAttack(Adversary):
+    """See an honest UBC message, corrupt the sender, replace the message.
+
+    Succeeds against ``FUBC``/ΠUBC by design (unfairness); the attack
+    records each replacement it performed.
+    """
+
+    def __init__(self, victim: str, replacement: Any) -> None:
+        super().__init__()
+        self.victim = victim
+        self.replacement = replacement
+        self.replaced: List[Any] = []
+
+    def on_leak(self, source, detail) -> None:
+        super().on_leak(source, detail)
+        if not (isinstance(detail, tuple) and detail and detail[0] == "Broadcast"):
+            return
+        if len(detail) == 4:
+            # FUBC leak: (Broadcast, tag, message, sender).
+            _, tag, message, sender = detail
+            if sender != self.victim or message == self.replacement:
+                return
+            if self.victim not in self.corrupted_parties:
+                self.corrupt(self.victim)
+            source.adv_allow(tag, self.replacement)
+            self.replaced.append(message)
+        elif len(detail) == 3 and hasattr(source, "adv_allow") and hasattr(source, "halted"):
+            # ΠUBC's FRBC instance: (Broadcast, message, sender).
+            _, message, sender = detail
+            if sender != self.victim or message == self.replacement or source.halted:
+                return
+            if self.victim not in self.corrupted_parties:
+                self.corrupt(self.victim)
+            source.adv_allow(self.replacement)
+            self.replaced.append(message)
+
+
+class FBCReplaceAttack(Adversary):
+    """The same strategy against fair broadcast, with a timed trigger.
+
+    Args:
+        victim: Sender to corrupt.
+        replacement: Value to substitute.
+        corrupt_after: Rounds to wait after observing the victim's request
+            before corrupting and attempting ``Allow``.  With the ideal
+            ``F^{∆,α}_FBC``: attempts strictly before ``∆ − α`` rounds
+            succeed, attempts at or after fail (the value is locked).
+
+    Attributes:
+        attempts: Number of ``Allow`` calls issued.
+        successes: Number accepted by the functionality.
+    """
+
+    def __init__(self, victim: str, replacement: Any, corrupt_after: int) -> None:
+        super().__init__()
+        self.victim = victim
+        self.replacement = replacement
+        self.corrupt_after = corrupt_after
+        self.attempts = 0
+        self.successes = 0
+        self._pending: List[Any] = []  # (source, tag, observed_round)
+
+    def on_leak(self, source, detail) -> None:
+        super().on_leak(source, detail)
+        if not (isinstance(detail, tuple) and detail and detail[0] == "Broadcast"):
+            return
+        if len(detail) == 3:  # FBC leak: (Broadcast, tag, sender)
+            _, tag, sender = detail
+            if sender == self.victim:
+                self._pending.append([source, tag, self.session.clock.time])
+
+    def _try_replacements(self) -> None:
+        for entry in list(self._pending):
+            source, tag, seen_at = entry
+            if self.session.clock.time - seen_at < self.corrupt_after:
+                continue
+            if self.victim not in self.corrupted_parties:
+                self.corrupt(self.victim)
+            self.attempts += 1
+            if source.adv_allow(tag, self.replacement, self.victim):
+                self.successes += 1
+            self._pending.remove(entry)
+
+    def on_round_advanced(self, new_time: int) -> None:
+        self._try_replacements()
+
+    def on_party_activated(self, party) -> None:
+        self._try_replacements()
+
+
+class OutputRequestProbe(Adversary):
+    """Measure the simulator advantage α of a fair-broadcast channel.
+
+    Issues ``Output_Request`` for every observed tag at every round and
+    records the age (rounds since the request) at which the functionality
+    first revealed each message.  Against ``F^{∆,α}_FBC`` the recorded age
+    is exactly ``∆ − α``.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.reveal_ages: List[int] = []
+        self._pending: List[Any] = []  # [source, tag, seen_at]
+
+    def on_leak(self, source, detail) -> None:
+        super().on_leak(source, detail)
+        if (
+            isinstance(detail, tuple)
+            and len(detail) == 3
+            and detail[0] == "Broadcast"
+            and hasattr(source, "adv_output_request")
+        ):
+            self._pending.append([source, detail[1], self.session.clock.time])
+
+    def _probe(self) -> None:
+        for entry in list(self._pending):
+            source, tag, seen_at = entry
+            revealed = source.adv_output_request(tag)
+            if revealed is not None:
+                self.reveal_ages.append(self.session.clock.time - seen_at)
+                self._pending.remove(entry)
+
+    def on_round_advanced(self, new_time: int) -> None:
+        self._probe()
+
+    def on_party_activated(self, party) -> None:
+        self._probe()

@@ -1,0 +1,123 @@
+"""Randomness-biasing (last-mover) attacks on distributed beacons.
+
+A coalition that sees honest contributions before committing its own can
+force any XOR-combined output it likes.  The naive beacon
+(:mod:`repro.baselines.naive_beacon` — contributions broadcast in the
+clear over UBC) falls to this with probability 1.  ΠDURS routes the
+contributions through simultaneous broadcast: until ``τ_rel`` the
+adversary holds only TLE ciphertexts, so its own contribution is
+information-theoretically independent of the honest ones and the output
+bit it targets comes out uniform.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.crypto.hashing import xor_bytes
+from repro.functionalities.durs import URS_LEN
+from repro.uc.adversary import Adversary
+
+
+class BiasingContributor(Adversary):
+    """A last-mover trying to force bit 0 of the beacon output.
+
+    Works against any channel leaking (or not leaking) contributions:
+
+    * In the **naive** world it sees every honest 32-byte contribution in
+      UBC leaks; once ``expected_honest`` arrived it submits
+      ``XOR(seen) ⊕ (target-bit pattern)``, forcing the final output.
+    * In the **DURS/SBC** world it sees only ``Sender`` handles; at the
+      last round of the broadcast period it must submit blind.
+
+    Args:
+        attacker: pid to corrupt and contribute through.
+        target_bit: Desired value of the output's most significant bit.
+        expected_honest: Contributions to wait for in the naive world.
+        phi: SBC broadcast period (for the blind-submission deadline).
+
+    Attributes:
+        submitted: The contribution eventually sent (None if never).
+        informed: True if the submission used observed honest plaintexts.
+    """
+
+    def __init__(
+        self,
+        attacker: str,
+        target_bit: int = 0,
+        expected_honest: Optional[int] = None,
+        phi: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self.attacker = attacker
+        self.target_bit = target_bit
+        self.expected_honest = expected_honest
+        self.phi = phi
+        self.seen: List[bytes] = []
+        self.channel = None
+        self.period_start: Optional[int] = None
+        self.submitted: Optional[bytes] = None
+        self.informed = False
+
+    def on_party_registered(self, party) -> None:
+        if party.pid == self.attacker:
+            self.corrupt(party.pid)
+
+    # -- observation -------------------------------------------------------
+
+    def on_leak(self, source, detail) -> None:
+        super().on_leak(source, detail)
+        if not (isinstance(detail, tuple) and detail):
+            return
+        if detail[0] == "Broadcast" and len(detail) == 4:
+            _, _tag, message, sender = detail
+            if (
+                sender != self.attacker
+                and isinstance(message, bytes)
+                and len(message) == URS_LEN
+            ):
+                self.channel = source
+                self.seen.append(message)
+                if (
+                    self.expected_honest is not None
+                    and len(self.seen) >= self.expected_honest
+                    and self.submitted is None
+                ):
+                    self._submit(informed=True)
+        elif detail[0] == "Sender":
+            # SBC leak: only a handle; remember the channel and period.
+            self.channel = source
+            if self.period_start is None:
+                self.period_start = self.session.clock.time
+
+    # -- deadline ------------------------------------------------------------
+
+    def on_party_activated(self, party) -> None:
+        self._maybe_blind_submit()
+
+    def on_round_advanced(self, new_time: int) -> None:
+        self._maybe_blind_submit()
+
+    def _maybe_blind_submit(self) -> None:
+        if self.submitted is not None or self.channel is None:
+            return
+        if self.phi is None or self.period_start is None:
+            return
+        if self.session.clock.time >= self.period_start + self.phi - 1:
+            self._submit(informed=False)
+
+    # -- the move ----------------------------------------------------------------
+
+    def _submit(self, informed: bool) -> None:
+        honest_xor = bytes(URS_LEN)
+        if informed:
+            for value in self.seen:
+                honest_xor = xor_bytes(honest_xor, value)
+        contribution = bytearray(self.session.random_bytes(URS_LEN))
+        # Force the final MSB: own_bit = honest_bit XOR target.
+        honest_bit = honest_xor[0] >> 7
+        own_bit = honest_bit ^ self.target_bit
+        contribution[0] = (contribution[0] & 0x7F) | (own_bit << 7)
+        self.submitted = bytes(contribution)
+        self.informed = informed
+        self.channel.adv_broadcast(self.attacker, self.submitted)

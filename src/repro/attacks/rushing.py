@@ -1,0 +1,121 @@
+"""Rushing copy/correlation attacks on broadcast channels.
+
+*Simultaneity* (the defining property of SBC) says a corrupted sender's
+message must be independent of honest senders' messages.  The canonical
+violation is the **copy attack**: a rushing adversary waits to see an
+honest sender's value, then broadcasts the same value (or a correlated
+one, e.g. a higher bid) as its own contribution to the same batch.
+
+* Over a plain **UBC** channel the attack succeeds with probability 1:
+  ``FUBC`` leaks every honest message *in the clear* at request time, and
+  the adversary's own broadcast is accepted any time before delivery.
+* Over **ΠSBC** the adversary sees only TLE ciphertexts and masked values
+  until ``τ_rel``, long after the broadcast period closed — it can copy
+  the *ciphertext* (rejected as a replay) or submit an independent guess.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.uc.adversary import Adversary
+
+
+class UBCCopyAttack(Adversary):
+    """Copy an honest sender's UBC message as a corrupted party's own.
+
+    Args:
+        attacker: The pid to corrupt and broadcast through.
+        victim: Copy only messages from this sender (default: any honest
+            sender).
+        transform: Applied to the copied payload (default: identity) —
+            e.g. outbid by one.
+    """
+
+    def __init__(
+        self,
+        attacker: str,
+        victim: Optional[str] = None,
+        transform: Optional[Callable[[Any], Any]] = None,
+    ) -> None:
+        super().__init__()
+        self.attacker = attacker
+        self.victim = victim
+        self.transform = transform or (lambda payload: payload)
+        self.copied: List[Any] = []
+
+    def on_leak(self, source, detail) -> None:
+        super().on_leak(source, detail)
+        if not (isinstance(detail, tuple) and detail and detail[0] == "Broadcast"):
+            return
+        if len(detail) == 4:
+            # FUBC leak: (Broadcast, tag, message, sender); inject there.
+            _, _tag, message, sender = detail
+            channel = source
+        elif len(detail) == 3 and getattr(source, "via", None) is not None:
+            # ΠUBC's per-message FRBC instance: inject via the adapter.
+            _, message, sender = detail
+            channel = source.via
+        else:
+            return
+        if sender == self.attacker or (self.victim and sender != self.victim):
+            return
+        payload = self.transform(message)
+        if payload in self.copied:
+            return  # delivery leaks repeat the message; copy once
+        if self.attacker not in self.corrupted_parties:
+            self.corrupt(self.attacker)
+        self.copied.append(payload)
+        channel.adv_broadcast(self.attacker, payload)
+
+
+class SBCCopyAttack(Adversary):
+    """The same strategy pointed at an SBC session.
+
+    The adversary watches every leak for an honest plaintext to copy.
+    Against ΠSBC all it ever sees before the period closes are Wake_Up
+    messages, TLE ciphertexts ``c`` and masks ``y``; it desperately
+    re-broadcasts the ``(c, τ, y)`` triple under its own identity — a
+    replay that honest receivers drop.  ``plaintexts_seen`` stays empty,
+    which is the measurable statement of simultaneity.
+
+    Args:
+        attacker: The pid to corrupt and broadcast through.
+        is_plaintext: Predicate recognizing the honest payloads the
+            adversary is hunting for (e.g. ``lambda m: isinstance(m,
+            bytes)`` when the environment broadcasts byte strings).
+    """
+
+    def __init__(self, attacker: str, is_plaintext: Callable[[Any], bool]) -> None:
+        super().__init__()
+        self.attacker = attacker
+        self.is_plaintext = is_plaintext
+        self.plaintexts_seen: List[Any] = []
+        self.replays: int = 0
+
+    def _ensure_corrupted(self) -> None:
+        if self.attacker not in self.corrupted_parties:
+            self.corrupt(self.attacker)
+
+    def on_leak(self, source, detail) -> None:
+        super().on_leak(source, detail)
+        if not (isinstance(detail, tuple) and detail):
+            return
+        if detail[0] == "Broadcast" and len(detail) == 4:
+            _, _tag, message, sender = detail
+            if sender == self.attacker:
+                return
+            if self.is_plaintext(message):
+                # Simultaneity broken: an honest plaintext leaked early.
+                self.plaintexts_seen.append(message)
+                self._ensure_corrupted()
+                source.adv_broadcast(self.attacker, message)
+            elif (
+                isinstance(message, tuple)
+                and len(message) == 3
+                and isinstance(message[2], bytes)
+            ):
+                # Best effort: replay the (c, τ, y) triple as our own.
+                self._ensure_corrupted()
+                self.replays += 1
+                source.adv_broadcast(self.attacker, message)

@@ -1,0 +1,35 @@
+"""Baselines from prior work, for the comparison benchmarks.
+
+===================  =====================================================
+Module               Baseline
+===================  =====================================================
+``hevia``            Hevia [Hev06]-style honest-majority SBC: VSS-share
+                     then reconstruct.  Simultaneity holds iff the
+                     corrupted coalition cannot reach the reconstruction
+                     threshold — i.e. breaks at t ≥ n/2, exactly the gap
+                     the paper closes (benchmark E8).
+``gennaro``          Gen00-style commit-then-reveal SBC: constant
+                     rounds, honest majority, the *weakest* notion in
+                     [HM05]'s hierarchy (aborters drop out).
+``naive_beacon``     Commit-in-the-clear randomness beacon over UBC —
+                     the strawman a last-mover biases at will (E10).
+``rounds_models``    Analytic round/communication-complexity models of
+                     the SBC lineage: [CGMA85], [CR87], [Gen00],
+                     [FKL08], [Hev06], and this paper (E9).
+===================  =====================================================
+"""
+
+from repro.baselines.gennaro import GennaroParty, GennaroSBCNetwork
+from repro.baselines.hevia import HeviaSBCNetwork, HeviaParty
+from repro.baselines.naive_beacon import NaiveBeaconParty
+from repro.baselines.rounds_models import COMPLEXITY_MODELS, complexity_table
+
+__all__ = [
+    "COMPLEXITY_MODELS",
+    "GennaroParty",
+    "GennaroSBCNetwork",
+    "HeviaParty",
+    "HeviaSBCNetwork",
+    "NaiveBeaconParty",
+    "complexity_table",
+]

@@ -1,0 +1,234 @@
+"""A Gennaro [Gen00]-style constant-round SBC baseline (honest majority).
+
+[Gen00] achieves *independence* (the weakest SBC notion in [HM05]'s
+hierarchy) in constant rounds: senders first **commit** to their
+messages over broadcast, then **reveal**; VSS backup shares let honest
+parties reconstruct the decommitment of any sender who aborts after the
+commit phase.  Three phases, constants independent of n:
+
+  round 0 — commit: broadcast ``H(M, r)`` and VSS-share ``(M, r)``;
+  round R — reveal: broadcast ``(M, r)``; echo backup shares of anyone
+             silent;
+  round R+1 — reconstruct-and-output.
+
+Independence holds because commitments bind before any message opens —
+*but only under an honest majority*: a coalition past ``n/2`` pools
+backup shares during the commit phase and reads every honest message
+before choosing its own, the same n/2 cliff as the [Hev06] baseline
+(the reconstruction threshold is the single point of failure of the
+whole pre-TLE lineage, which is the paper's motivation).
+
+Also visible here: [Gen00]'s notion is *weaker* than the paper's FSBC —
+a corrupted committer that aborts and whose shares were dealt
+inconsistently simply drops out of the output, whereas FSBC fixes the
+batch at ``t_end`` (this is the [CGMA85] ⇒ [CR87] ⇒ [Gen00] hierarchy
+of [HM05] in executable form).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+
+from repro.crypto.groups import SchnorrGroup, TEST_GROUP
+from repro.crypto.hashing import hash_bytes
+from repro.crypto.shamir import Share, feldman_share, feldman_verify, reconstruct_secret
+from repro.baselines.hevia import MAX_MESSAGE, message_to_scalar, scalar_to_message
+from repro.functionalities.network import SyncNetwork
+from repro.functionalities.ubc import UnfairBroadcast
+from repro.uc.encoding import encode, sort_key
+from repro.uc.entity import Functionality, Party
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.uc.session import Session
+
+
+def commit_to(message: bytes, blinding: bytes) -> bytes:
+    """The binding commitment ``H(M, r)``."""
+    return hash_bytes(message, blinding, domain=b"gen00-commit")
+
+
+class GennaroParty(Party):
+    """One party of the commit-then-reveal SBC baseline.
+
+    Args:
+        session: Owning session.
+        pid: Party identifier.
+        network: Secure channels for the VSS backup shares.
+        ubc: Broadcast channel for commitments and reveals.
+        pids: All participants.
+        reveal_round: When the reveal phase happens.
+        group: Group for the Feldman commitments.
+    """
+
+    def __init__(
+        self,
+        session: "Session",
+        pid: str,
+        network: SyncNetwork,
+        ubc: UnfairBroadcast,
+        pids: Sequence[str],
+        reveal_round: int,
+        group: SchnorrGroup = TEST_GROUP,
+    ) -> None:
+        super().__init__(session, pid)
+        self.network = network
+        self.ubc = ubc
+        self.pids = list(pids)
+        self.reveal_round = reveal_round
+        self.group = group
+        self.threshold = (len(self.pids) - 1) // 2
+        self.my_message: Optional[bytes] = None
+        self.my_blinding: Optional[bytes] = None
+        #: committer -> commitment digest
+        self.commitments: Dict[str, bytes] = {}
+        #: committer -> Feldman commitment (for the backup sharing)
+        self.backup_commitments: Dict[str, Any] = {}
+        #: committer -> this party's backup share
+        self.backup_shares: Dict[str, Share] = {}
+        #: committer -> revealed (message, blinding)
+        self.revealed: Dict[str, bytes] = {}
+        #: committer -> {x: y} echoed backup shares
+        self.echoes: Dict[str, Dict[int, int]] = {}
+        self.delivered = False
+
+        self.route[network.fid] = self._on_network
+        self.route[ubc.fid] = self._on_ubc
+        self.clock_recipients.append(ubc)
+
+    # -- commit phase --------------------------------------------------------
+
+    def broadcast(self, message: bytes) -> None:
+        """Commit-phase input: commit to ``message`` and deal backups."""
+        if len(message) > MAX_MESSAGE - 16:
+            raise ValueError("message too long for the scalar embedding")
+        self.my_message = message
+        self.my_blinding = self.session.random_bytes(8)
+        digest = commit_to(message, self.my_blinding)
+        # VSS the decommitment (message + blinding, packed in a scalar).
+        packed = message_to_scalar(message + b"|" + self.my_blinding)
+        shares, commitment = feldman_share(
+            self.group, packed, self.threshold, len(self.pids), self.session.rng
+        )
+        for recipient, share in zip(self.pids, shares):
+            self.network.send(
+                self, recipient, ("Gen00Share", self.pid, share.x, share.y)
+            )
+        self.ubc.broadcast(
+            self, ("Gen00Commit", self.pid, digest, commitment.commitments)
+        )
+
+    # -- deliveries -------------------------------------------------------------
+
+    def _on_network(self, message: Any, source: Functionality) -> None:
+        kind, payload, _sender = message
+        if kind != "P2P":
+            return
+        if not (isinstance(payload, tuple) and payload and payload[0] == "Gen00Share"):
+            return
+        _, committer, x, y = payload
+        if self.time < self.reveal_round:
+            self.backup_shares.setdefault(committer, Share(x=x, y=y))
+
+    def _on_ubc(self, message: Any, source: Functionality) -> None:
+        kind, payload, _sender = message
+        if kind != "Broadcast" or not isinstance(payload, tuple) or not payload:
+            return
+        if payload[0] == "Gen00Commit" and self.time < self.reveal_round:
+            _, committer, digest, feldman = payload
+            self.commitments.setdefault(committer, digest)
+            from repro.crypto.shamir import FeldmanCommitment
+
+            self.backup_commitments.setdefault(
+                committer, FeldmanCommitment(tuple(feldman))
+            )
+        elif payload[0] == "Gen00Reveal":
+            _, committer, revealed_message, blinding = payload
+            expected = self.commitments.get(committer)
+            if expected is None:
+                return
+            if commit_to(revealed_message, blinding) == expected:
+                self.revealed.setdefault(committer, revealed_message)
+        elif payload[0] == "Gen00Echo":
+            _, _echoer, items = payload
+            for committer, x, y in items:
+                share = Share(x=x, y=y)
+                commitment = self.backup_commitments.get(committer)
+                if commitment is None or not feldman_verify(self.group, share, commitment):
+                    continue
+                self.echoes.setdefault(committer, {})[x] = y
+
+    # -- phases -------------------------------------------------------------------
+
+    def end_of_round(self) -> None:
+        now = self.time
+        if now == self.reveal_round:
+            if self.my_message is not None:
+                self.ubc.broadcast(
+                    self,
+                    ("Gen00Reveal", self.pid, self.my_message, self.my_blinding),
+                )
+            # Echo backup shares of committers who have not revealed yet;
+            # harmless if they do reveal this round (commitment-checked).
+            silent = [
+                (committer, share.x, share.y)
+                for committer, share in sorted(self.backup_shares.items())
+            ]
+            if silent:
+                self.ubc.broadcast(self, ("Gen00Echo", self.pid, tuple(silent)))
+        elif now == self.reveal_round + 1 and not self.delivered:
+            self.delivered = True
+            self.output(("Broadcast", self._finalize()))
+
+    def _finalize(self) -> List[bytes]:
+        batch: List[bytes] = []
+        for committer, digest in self.commitments.items():
+            if committer in self.revealed:
+                batch.append(self.revealed[committer])
+                continue
+            points = self.echoes.get(committer, {})
+            if len(points) < self.threshold + 1:
+                continue  # aborted and unrecoverable: drops out (Gen00!)
+            shares = [Share(x=x, y=y) for x, y in points.items()]
+            packed = reconstruct_secret(
+                shares[: self.threshold + 1], self.group.q
+            )
+            decommitment = scalar_to_message(packed)
+            if decommitment is None or b"|" not in decommitment:
+                continue
+            recovered, _, blinding = decommitment.rpartition(b"|")
+            if commit_to(recovered, blinding) == digest:
+                batch.append(recovered)
+        batch.sort(key=sort_key)
+        return batch
+
+
+@dataclass
+class GennaroSBCNetwork:
+    """A wired Gen00-style network plus its substrate handles."""
+
+    session: "Session"
+    parties: Dict[str, GennaroParty]
+    network: SyncNetwork
+    ubc: UnfairBroadcast
+    reveal_round: int
+
+    @classmethod
+    def build(
+        cls, session: "Session", n: int, reveal_round: int = 2,
+        group: SchnorrGroup = TEST_GROUP,
+    ) -> "GennaroSBCNetwork":
+        network = SyncNetwork(session, fid="Net:gen00")
+        ubc = UnfairBroadcast(session, fid="FUBC:gen00")
+        pids = [f"P{i}" for i in range(n)]
+        parties = {
+            pid: GennaroParty(
+                session, pid, network=network, ubc=ubc, pids=pids,
+                reveal_round=reveal_round, group=group,
+            )
+            for pid in pids
+        }
+        return cls(
+            session=session, parties=parties, network=network, ubc=ubc,
+            reveal_round=reveal_round,
+        )

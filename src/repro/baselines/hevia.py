@@ -1,0 +1,294 @@
+"""Honest-majority SBC baseline in the style of Hevia [Hev06] / [CGMA85].
+
+Share-then-reveal simultaneous broadcast: each sender Feldman-VSS-shares
+its message among all parties over secure channels (threshold
+``t = ⌊(n−1)/2⌋``, so ``t+1`` shares reconstruct); after the sharing
+phase closes, everyone echoes the shares they hold over UBC and all
+messages are reconstructed.
+
+While at most ``t`` parties are corrupted, the coalition's ``t`` shares
+reveal nothing during the sharing phase — simultaneity holds.  The moment
+the coalition reaches ``t+1`` members it can reconstruct every honest
+message *inside the sharing phase* and deal a correlated message of its
+own: :class:`HeviaCoalitionAttack` does exactly that.  Benchmark E8 sweeps
+the coalition size on this baseline and on ΠSBC, locating the n/2 cliff
+the paper's construction removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.groups import SchnorrGroup, TEST_GROUP
+from repro.crypto.shamir import (
+    FeldmanCommitment,
+    Share,
+    feldman_share,
+    feldman_verify,
+    reconstruct_secret,
+)
+from repro.functionalities.network import SyncNetwork
+from repro.functionalities.ubc import UnfairBroadcast
+from repro.uc.adversary import Adversary
+from repro.uc.encoding import sort_key
+from repro.uc.entity import Functionality, Party
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.uc.session import Session
+
+#: Maximum message length a group scalar can carry.
+MAX_MESSAGE = 30
+
+
+def message_to_scalar(message: bytes) -> int:
+    """Injective bytes -> scalar encoding (leading 0x01 guards length)."""
+    if len(message) > MAX_MESSAGE:
+        raise ValueError(f"message longer than {MAX_MESSAGE} bytes")
+    return int.from_bytes(b"\x01" + message, "big")
+
+
+def scalar_to_message(scalar: int) -> Optional[bytes]:
+    """Inverse of :func:`message_to_scalar`; None if malformed."""
+    raw = scalar.to_bytes((scalar.bit_length() + 7) // 8, "big")
+    if not raw or raw[0] != 1:
+        return None
+    return raw[1:]
+
+
+class HeviaParty(Party):
+    """One party of the share-then-reveal SBC baseline.
+
+    Args:
+        session: Owning session.
+        pid: Party identifier.
+        network: Secure point-to-point channels (share distribution).
+        ubc: Broadcast channel (commitments + reveal phase).
+        pids: All participant pids, in dealing order.
+        reveal_round: Round at which held shares are echoed.
+        group: Group for Feldman commitments.
+    """
+
+    def __init__(
+        self,
+        session: "Session",
+        pid: str,
+        network: SyncNetwork,
+        ubc: UnfairBroadcast,
+        pids: Sequence[str],
+        reveal_round: int,
+        group: SchnorrGroup = TEST_GROUP,
+    ) -> None:
+        super().__init__(session, pid)
+        self.network = network
+        self.ubc = ubc
+        self.pids = list(pids)
+        self.reveal_round = reveal_round
+        self.group = group
+        self.threshold = (len(self.pids) - 1) // 2  # honest-majority design
+        #: dealer -> the share this party received.
+        self.held: Dict[str, Share] = {}
+        #: dealer -> Feldman commitment.
+        self.commitments: Dict[str, FeldmanCommitment] = {}
+        #: dealer -> {x: y} echoed shares collected in the reveal phase.
+        self.echoes: Dict[str, Dict[int, int]] = {}
+        self.delivered = False
+
+        self.route[network.fid] = self._on_network
+        self.route[ubc.fid] = self._on_ubc
+        self.clock_recipients.append(ubc)
+
+    # -- sender input --------------------------------------------------------
+
+    def broadcast(self, message: bytes) -> None:
+        """Deal a VSS sharing of ``message`` (sharing phase input)."""
+        secret = message_to_scalar(message)
+        shares, commitment = feldman_share(
+            self.group, secret, self.threshold, len(self.pids), self.session.rng
+        )
+        for recipient, share in zip(self.pids, shares):
+            self.network.send(self, recipient, ("HeviaShare", self.pid, share.x, share.y))
+        self.ubc.broadcast(self, ("HeviaCommit", self.pid, commitment.commitments))
+
+    # -- deliveries --------------------------------------------------------------
+
+    def _on_network(self, message: Any, source: Functionality) -> None:
+        kind, payload, _sender = message
+        if kind != "P2P":
+            return
+        if not (isinstance(payload, tuple) and payload and payload[0] == "HeviaShare"):
+            return
+        _, dealer, x, y = payload
+        if self.time <= self.reveal_round:
+            self.held.setdefault(dealer, Share(x=x, y=y))
+
+    def _on_ubc(self, message: Any, source: Functionality) -> None:
+        kind, payload, _sender = message
+        if kind != "Broadcast" or not isinstance(payload, tuple) or not payload:
+            return
+        if payload[0] == "HeviaCommit":
+            _, dealer, commitments = payload
+            self.commitments.setdefault(dealer, FeldmanCommitment(tuple(commitments)))
+        elif payload[0] == "HeviaReveal":
+            _, _echoer, items = payload
+            for dealer, x, y in items:
+                share = Share(x=x, y=y)
+                commitment = self.commitments.get(dealer)
+                if commitment is None or not feldman_verify(self.group, share, commitment):
+                    continue
+                self.echoes.setdefault(dealer, {})[x] = y
+
+    # -- phases ------------------------------------------------------------------------
+
+    def end_of_round(self) -> None:
+        now = self.time
+        if now == self.reveal_round:
+            items = tuple(
+                (dealer, share.x, share.y) for dealer, share in sorted(self.held.items())
+            )
+            self.ubc.broadcast(self, ("HeviaReveal", self.pid, items))
+        elif now == self.reveal_round + 1 and not self.delivered:
+            self.delivered = True
+            batch: List[bytes] = []
+            for dealer, points in self.echoes.items():
+                if len(points) < self.threshold + 1:
+                    continue
+                shares = [Share(x=x, y=y) for x, y in points.items()]
+                secret = reconstruct_secret(shares[: self.threshold + 1], self.group.q)
+                message = scalar_to_message(secret)
+                if message is not None:
+                    batch.append(message)
+            batch.sort(key=sort_key)
+            self.output(("Broadcast", batch))
+
+
+@dataclass
+class HeviaSBCNetwork:
+    """A wired baseline network plus its substrate handles."""
+
+    session: "Session"
+    parties: Dict[str, HeviaParty]
+    network: SyncNetwork
+    ubc: UnfairBroadcast
+    reveal_round: int
+
+    @classmethod
+    def build(
+        cls,
+        session: "Session",
+        n: int,
+        reveal_round: int = 2,
+        group: SchnorrGroup = TEST_GROUP,
+    ) -> "HeviaSBCNetwork":
+        network = SyncNetwork(session, fid="Net:hevia")
+        ubc = UnfairBroadcast(session, fid="FUBC:hevia")
+        pids = [f"P{i}" for i in range(n)]
+        parties = {
+            pid: HeviaParty(
+                session, pid, network=network, ubc=ubc, pids=pids,
+                reveal_round=reveal_round, group=group,
+            )
+            for pid in pids
+        }
+        return cls(
+            session=session, parties=parties, network=network, ubc=ubc,
+            reveal_round=reveal_round,
+        )
+
+
+@dataclass
+class _Dealing:
+    shares: Dict[int, int] = field(default_factory=dict)
+    reconstructed: Optional[bytes] = None
+    learned_at: Optional[int] = None
+
+
+class HeviaCoalitionAttack(Adversary):
+    """Pool the coalition's shares; reconstruct early if ≥ t+1; copy.
+
+    Args:
+        coalition: pids to corrupt at the start.
+        copier: Coalition member that re-deals any learned message as its
+            own (the copy attack); None disables copying.
+        group: Group matching the baseline's.
+
+    Attributes:
+        learned: dealer -> (message, round) reconstructed *before* the
+            reveal phase — each entry is a simultaneity violation.
+    """
+
+    def __init__(
+        self,
+        coalition: Sequence[str],
+        copier: Optional[str] = None,
+        group: SchnorrGroup = TEST_GROUP,
+    ) -> None:
+        super().__init__()
+        self.coalition = list(coalition)
+        self.copier = copier if copier is not None else (self.coalition[0] if self.coalition else None)
+        self.group = group
+        self.dealings: Dict[str, _Dealing] = {}
+        self.learned: Dict[str, Tuple[bytes, int]] = {}
+        self.copied: List[bytes] = []
+        self.baseline: Optional[HeviaSBCNetwork] = None  # set by the driver
+
+    def on_party_registered(self, party) -> None:
+        if party.pid in self.coalition:
+            self.corrupt(party.pid)
+
+    def on_leak(self, source, detail) -> None:
+        super().on_leak(source, detail)
+        if not (isinstance(detail, tuple) and detail):
+            return
+        if detail[0] != "Deliver":
+            return
+        _, recipient, message = detail
+        if recipient not in self.coalition:
+            return
+        if not (isinstance(message, tuple) and message and message[0] == "P2P"):
+            return
+        payload = message[1]
+        if not (isinstance(payload, tuple) and payload and payload[0] == "HeviaShare"):
+            return
+        _, dealer, x, y = payload
+        if dealer in self.coalition:
+            return
+        dealing = self.dealings.setdefault(dealer, _Dealing())
+        dealing.shares[x] = y
+        self._try_reconstruct(dealer, dealing)
+
+    def _try_reconstruct(self, dealer: str, dealing: _Dealing) -> None:
+        if dealing.reconstructed is not None or self.baseline is None:
+            return
+        threshold = next(iter(self.baseline.parties.values())).threshold
+        if len(dealing.shares) < threshold + 1:
+            return
+        shares = [Share(x=x, y=y) for x, y in dealing.shares.items()]
+        secret = reconstruct_secret(shares[: threshold + 1], self.group.q)
+        message = scalar_to_message(secret)
+        if message is None:
+            return
+        dealing.reconstructed = message
+        dealing.learned_at = self.session.clock.time
+        if self.session.clock.time < self.baseline.reveal_round:
+            self.learned[dealer] = (message, self.session.clock.time)
+            self._copy(message)
+
+    def _copy(self, message: bytes) -> None:
+        """Deal the stolen message as the copier's own contribution."""
+        if self.copier is None or self.baseline is None:
+            return
+        baseline = self.baseline
+        party = baseline.parties[self.copier]
+        secret = message_to_scalar(message)
+        shares, commitment = feldman_share(
+            self.group, secret, party.threshold, len(party.pids), self.session.rng
+        )
+        for recipient, share in zip(party.pids, shares):
+            baseline.network.adv_send(
+                self.copier, recipient, ("HeviaShare", self.copier, share.x, share.y)
+            )
+        baseline.ubc.adv_broadcast(
+            self.copier, ("HeviaCommit", self.copier, commitment.commitments)
+        )
+        self.copied.append(message)

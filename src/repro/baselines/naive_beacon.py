@@ -1,0 +1,81 @@
+"""Naive commit-in-the-clear randomness beacon (the E10 strawman).
+
+Every party broadcasts a fresh random string over UBC; the beacon output
+is the XOR of everything received within a fixed window.  Without
+simultaneity a rushing last-mover reads the honest contributions from the
+UBC leaks and picks its own to force any output bit it wants
+(:class:`~repro.attacks.bias.BiasingContributor` with
+``expected_honest`` set).  ΠDURS replaces the clear channel with SBC and
+the same attacker degrades to a coin flip.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+
+from repro.crypto.hashing import xor_bytes
+from repro.functionalities.durs import URS_LEN
+from repro.functionalities.ubc import UnfairBroadcast
+from repro.uc.entity import Functionality, Party
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.uc.session import Session
+
+
+class NaiveBeaconParty(Party):
+    """One party of the naive beacon.
+
+    Args:
+        session: Owning session.
+        pid: Party identifier.
+        ubc: The clear broadcast channel.
+        close_round: Round after which contributions stop being accepted;
+            the output is emitted at ``close_round + 1``.
+    """
+
+    def __init__(
+        self, session: "Session", pid: str, ubc: UnfairBroadcast, close_round: int
+    ) -> None:
+        super().__init__(session, pid)
+        self.ubc = ubc
+        self.close_round = close_round
+        self.contributions: List[bytes] = []
+        self.urs: Optional[bytes] = None
+        self.contributed = False
+
+        self.route[ubc.fid] = self._on_ubc
+        self.clock_recipients.append(ubc)
+
+    def contribute(self) -> None:
+        """Broadcast this party's random contribution (in the clear)."""
+        if self.contributed:
+            return
+        self.contributed = True
+        self.ubc.broadcast(self, self.session.random_bytes(URS_LEN))
+
+    def _on_ubc(self, message: Any, source: Functionality) -> None:
+        kind, payload, _sender = message
+        if kind != "Broadcast" or not isinstance(payload, bytes):
+            return
+        if len(payload) != URS_LEN or self.time > self.close_round:
+            return
+        self.contributions.append(payload)
+
+    def end_of_round(self) -> None:
+        if self.time == self.close_round + 1 and self.urs is None:
+            urs = bytes(URS_LEN)
+            for value in self.contributions:
+                urs = xor_bytes(urs, value)
+            self.urs = urs
+            self.output(("URS", urs))
+
+
+def build_naive_beacon(
+    session: "Session", pids: Sequence[str], close_round: int = 2
+) -> Dict[str, NaiveBeaconParty]:
+    """Wire a naive beacon network; returns pid -> party."""
+    ubc = UnfairBroadcast(session, fid="FUBC:naive-beacon")
+    return {
+        pid: NaiveBeaconParty(session, pid, ubc=ubc, close_round=close_round)
+        for pid in pids
+    }

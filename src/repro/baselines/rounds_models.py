@@ -1,0 +1,129 @@
+"""Analytic round/communication models of the SBC lineage (benchmark E9).
+
+The paper's introduction positions its construction against the prior
+simultaneous-broadcast line: [CGMA85] (linear rounds), [CR87]
+(logarithmic), [Gen00]/[FKL08] (constant), [Hev06] (constant, UC) — all
+honest-majority — versus this paper's constant-round, dishonest-majority,
+adaptively UC-secure channel.  These models reproduce that comparison
+table.  Asymptotics are from the respective papers; the constants are
+illustrative (chosen so a same-n comparison is visually meaningful), and
+the measured column for *this* paper's protocol comes from actually
+running ΠSBC.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class ComplexityModel:
+    """One row of the lineage comparison.
+
+    Attributes:
+        name: Citation key.
+        rounds: Round complexity as a function of (n, t).
+        messages: Point-to-point message complexity as a function of (n, t).
+        max_corruptions: Largest tolerable t as a function of n.
+        composable: Security under concurrent composition (UC).
+        adaptive: Security against adaptive corruption.
+    """
+
+    name: str
+    rounds: Callable[[int, int], int]
+    messages: Callable[[int, int], int]
+    max_corruptions: Callable[[int], int]
+    composable: bool
+    adaptive: bool
+
+    def tolerates(self, n: int, t: int) -> bool:
+        return t <= self.max_corruptions(n)
+
+
+def _honest_majority(n: int) -> int:
+    return (n - 1) // 2
+
+
+def _dishonest_majority(n: int) -> int:
+    return n - 1
+
+
+#: The lineage.  VSS-based protocols run a Dolev–Strong-like broadcast
+#: sub-step per sharing, hence the t factors in message counts.
+COMPLEXITY_MODELS: Dict[str, ComplexityModel] = {
+    "CGMA85": ComplexityModel(
+        name="CGMA85",
+        rounds=lambda n, t: max(1, t) + 2,  # linear in t (O(n) worst case)
+        messages=lambda n, t: n * n * max(1, t),
+        max_corruptions=_honest_majority,
+        composable=False,
+        adaptive=False,
+    ),
+    "CR87": ComplexityModel(
+        name="CR87",
+        rounds=lambda n, t: 2 * max(1, math.ceil(math.log2(max(2, n)))) + 2,
+        messages=lambda n, t: n * n * max(1, math.ceil(math.log2(max(2, n)))),
+        max_corruptions=_honest_majority,
+        composable=False,
+        adaptive=False,
+    ),
+    "Gen00": ComplexityModel(
+        name="Gen00",
+        rounds=lambda n, t: 4,  # constant
+        messages=lambda n, t: 4 * n * n,
+        max_corruptions=_honest_majority,
+        composable=False,
+        adaptive=False,
+    ),
+    "FKL08": ComplexityModel(
+        name="FKL08",
+        rounds=lambda n, t: 3,  # constant, amortizes over repeated runs
+        messages=lambda n, t: 3 * n * n,
+        max_corruptions=_honest_majority,
+        composable=False,
+        adaptive=False,
+    ),
+    "Hev06": ComplexityModel(
+        name="Hev06",
+        rounds=lambda n, t: 5,  # constant, UC (sequential phases)
+        messages=lambda n, t: 5 * n * n,
+        max_corruptions=_honest_majority,
+        composable=True,
+        adaptive=False,
+    ),
+    "this-paper": ComplexityModel(
+        name="this-paper",
+        # Φ + ∆ rounds end-to-end with the Corollary 1 minima (Φ=4, ∆=3),
+        # independent of n and t.
+        rounds=lambda n, t: 7,
+        messages=lambda n, t: 2 * n * n,  # one Wake_Up + one (c,τ,y) per sender
+        max_corruptions=_dishonest_majority,
+        composable=True,
+        adaptive=True,
+    ),
+}
+
+
+def complexity_table(
+    n_values: Sequence[int], models: Sequence[str] = tuple(COMPLEXITY_MODELS)
+) -> List[dict]:
+    """Rows of the lineage comparison for the given party counts."""
+    rows = []
+    for name in models:
+        model = COMPLEXITY_MODELS[name]
+        for n in n_values:
+            t = model.max_corruptions(n)
+            rows.append(
+                {
+                    "model": name,
+                    "n": n,
+                    "max_t": t,
+                    "rounds": model.rounds(n, t),
+                    "messages": model.messages(n, t),
+                    "composable": model.composable,
+                    "adaptive": model.adaptive,
+                }
+            )
+    return rows

@@ -1,0 +1,112 @@
+"""Repeated SBC sessions over a shared substrate ([FKL08]'s concern).
+
+Faust–Käsper–Lucks observed that simultaneous broadcast is typically run
+*repeatedly* (every round of an MPC, every lottery draw) and optimized
+the amortized cost.  The analogue here: consecutive broadcast periods can
+share the expensive substrate — the clock, the UBC channel, the TLE
+service and the oracles — with only the light per-period protocol state
+(one :class:`~repro.protocols.sbc_protocol.SBCProtocolAdapter`) renewed.
+
+:class:`RepeatedSBC` chains periods inside one session; benchmark E13
+compares the marginal per-period cost against cold-started sessions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.stacks import MSG_LEN_SBC
+from repro.functionalities.random_oracle import RandomOracle
+from repro.functionalities.tle import TimeLockEncryption
+from repro.functionalities.ubc import UnfairBroadcast
+from repro.protocols.sbc_protocol import SBCProtocolAdapter
+from repro.uc.entity import Functionality, Party
+from repro.uc.environment import Environment
+from repro.uc.session import Session
+
+
+class RepeatedSBCParty(Party):
+    """A party that can join one SBC period after another."""
+
+    def __init__(self, session: Session, pid: str) -> None:
+        super().__init__(session, pid)
+        self.current: Optional[Functionality] = None
+
+    def join(self, adapter: SBCProtocolAdapter) -> None:
+        """Enter a new period: rewire routes and the clock chain."""
+        if self.current is not None and self.current in self.clock_recipients:
+            self.clock_recipients.remove(self.current)
+        self.current = adapter
+        adapter.attach(self)
+        self.route[adapter.fid] = lambda message, source: self.output(
+            (adapter.fid, message)
+        )
+        if adapter not in self.clock_recipients:
+            self.clock_recipients.append(adapter)
+
+    def broadcast(self, message: Any) -> None:
+        """Broadcast within the current period."""
+        if self.current is None:
+            raise RuntimeError("party has not joined a period")
+        self.current.broadcast(self, message)
+
+
+class RepeatedSBC:
+    """Run k consecutive SBC periods in one session.
+
+    Args:
+        n: Number of parties.
+        seed: Session seed.
+        phi: Period length Φ.
+        delta: Release delay ∆.
+
+    The substrate (FUBC, ideal FTLE, the masking oracle) is created once;
+    each :meth:`run_period` spins a fresh period adapter over it.
+    """
+
+    def __init__(self, n: int = 3, seed: int = 0, phi: int = 4, delta: int = 2) -> None:
+        self.session = Session(sid="sbc-repeated", seed=seed)
+        self.phi = phi
+        self.delta = delta
+        self.ubc = UnfairBroadcast(self.session, fid="FUBC:rep")
+        self.tle = TimeLockEncryption(
+            self.session, leak=lambda cl: cl + 1, delay=1, fid="FTLE:rep"
+        )
+        self.oracle = RandomOracle(self.session, fid="FRO:rep", digest_size=MSG_LEN_SBC)
+        self.parties = {
+            f"P{i}": RepeatedSBCParty(self.session, f"P{i}") for i in range(n)
+        }
+        self.env = Environment(self.session)
+        self.periods_run = 0
+
+    def run_period(self, messages: Dict[str, Any]) -> Dict[str, List[Any]]:
+        """Run one full broadcast period; returns pid -> delivered batch.
+
+        Args:
+            messages: pid -> the message that party broadcasts this period.
+        """
+        index = self.periods_run
+        self.periods_run += 1
+        adapter = SBCProtocolAdapter(
+            self.session,
+            ubc=self.ubc,
+            tle=self.tle,
+            oracle=self.oracle,
+            phi=self.phi,
+            delta=self.delta,
+            fid=f"PiSBC:rep{index}",
+        )
+        for party in self.parties.values():
+            party.join(adapter)
+        for pid, message in messages.items():
+            self.parties[pid].broadcast(message)
+        self.env.run_rounds(self.phi + self.delta + 1)
+        delivered: Dict[str, List[Any]] = {}
+        for pid, party in self.parties.items():
+            batches = [
+                payload[1]
+                for fid, payload in party.outputs
+                if fid == adapter.fid and payload[0] == "Broadcast"
+            ]
+            delivered[pid] = batches[-1] if batches else None
+        return delivered

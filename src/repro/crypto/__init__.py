@@ -1,0 +1,48 @@
+"""Cryptographic substrate.
+
+Everything is built from the standard library (``hashlib``/``hmac``) —
+the paper's constructions only need a hash function (modelled as a random
+oracle), a symmetric-key encryption scheme, an EUF-CMA signature scheme
+(for realizing ``Fcert``), and, for the self-tallying voting application,
+a prime-order group with ElGamal-form ballots and Σ-protocol ZK proofs.
+
+Modules
+-------
+* :mod:`repro.crypto.hashing` — hash utilities, XOR, domain separation.
+* :mod:`repro.crypto.ske` — IND-CPA symmetric encryption (hash stream
+  cipher + MAC), used by the Astrolabous TLE scheme.
+* :mod:`repro.crypto.groups` — Schnorr group (prime-order subgroup of
+  :math:`\\mathbb{Z}_p^*`) with safe test/production parameter sets.
+* :mod:`repro.crypto.schnorr` — Schnorr signatures (EUF-CMA in the ROM).
+* :mod:`repro.crypto.elgamal` — (exponential) ElGamal encryption.
+* :mod:`repro.crypto.zkp` — Schnorr PoK, Chaum–Pedersen equality, and
+  disjunctive 0/1-vote proofs (Fiat–Shamir).
+* :mod:`repro.crypto.shamir` — Shamir secret sharing + Feldman VSS, used
+  by the honest-majority Hevia baseline.
+"""
+
+from repro.crypto.hashing import hash_bytes, hash_to_int, xor_bytes
+from repro.crypto.ske import SymmetricKey, ske_decrypt, ske_encrypt, ske_gen
+from repro.crypto.groups import SchnorrGroup, TEST_GROUP
+from repro.crypto.schnorr import SchnorrKeyPair, schnorr_keygen, schnorr_sign, schnorr_verify
+from repro.crypto.elgamal import ElGamalCiphertext, elgamal_decrypt, elgamal_encrypt, elgamal_keygen
+
+__all__ = [
+    "ElGamalCiphertext",
+    "SchnorrGroup",
+    "SchnorrKeyPair",
+    "SymmetricKey",
+    "TEST_GROUP",
+    "elgamal_decrypt",
+    "elgamal_encrypt",
+    "elgamal_keygen",
+    "hash_bytes",
+    "hash_to_int",
+    "schnorr_keygen",
+    "schnorr_sign",
+    "schnorr_verify",
+    "ske_decrypt",
+    "ske_encrypt",
+    "ske_gen",
+    "xor_bytes",
+]

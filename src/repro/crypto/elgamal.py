@@ -1,0 +1,61 @@
+"""(Exponential) ElGamal encryption over a Schnorr group.
+
+Used by the self-tallying voting substrate: authorities in ΠSTVS (paper
+Figure 18) send each voter encrypted shares of their secret exponent, and
+ballots are ElGamal-form values whose product self-tallies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.crypto.groups import SchnorrGroup, TEST_GROUP
+
+
+@dataclass(frozen=True)
+class ElGamalCiphertext:
+    """An ElGamal pair ``(a, b) = (g^k, m · y^k)``."""
+
+    a: int
+    b: int
+
+
+def elgamal_keygen(rng, group: SchnorrGroup = TEST_GROUP) -> Tuple[int, int]:
+    """Return ``(secret, public)`` with ``public = g^secret``."""
+    secret = group.random_scalar(rng)
+    return secret, group.power_of_g(secret)
+
+
+def elgamal_encrypt(
+    group: SchnorrGroup, public: int, message: int, rng
+) -> ElGamalCiphertext:
+    """Encrypt group element ``message`` under ``public``."""
+    if not group.is_member(message):
+        raise ValueError("message must be a group element")
+    k = group.random_scalar(rng)
+    return ElGamalCiphertext(a=group.power_of_g(k), b=group.mul(message, group.exp(public, k)))
+
+
+def elgamal_decrypt(group: SchnorrGroup, secret: int, ciphertext: ElGamalCiphertext) -> int:
+    """Recover the group element: ``b / a^secret``."""
+    return group.mul(ciphertext.b, group.inv(group.exp(ciphertext.a, secret)))
+
+
+def elgamal_encrypt_exponent(
+    group: SchnorrGroup, public: int, exponent: int, rng
+) -> ElGamalCiphertext:
+    """Exponential ElGamal: encrypt ``g^exponent`` (additively homomorphic)."""
+    return elgamal_encrypt(group, public, group.power_of_g(exponent), rng)
+
+
+def elgamal_decrypt_exponent(
+    group: SchnorrGroup, secret: int, ciphertext: ElGamalCiphertext, bound: int = 1 << 20
+) -> int:
+    """Recover a small exponent from an exponential-ElGamal ciphertext."""
+    return group.discrete_log_small(elgamal_decrypt(group, secret, ciphertext), bound=bound)
+
+
+def elgamal_multiply(group: SchnorrGroup, c1: ElGamalCiphertext, c2: ElGamalCiphertext) -> ElGamalCiphertext:
+    """Homomorphic combination (message multiplication / exponent addition)."""
+    return ElGamalCiphertext(a=group.mul(c1.a, c2.a), b=group.mul(c1.b, c2.b))

@@ -1,0 +1,119 @@
+"""Schnorr groups: prime-order subgroups of Z_p^*.
+
+Used by the signature scheme realizing ``Fcert`` (Fact 1 needs an EUF-CMA
+scheme) and by the self-tallying voting application ([SP15]/[KY02] work in
+a DDH group where ballots have the form :math:`r^{x_i} g^{v_i}`).
+
+Two parameter sets ship:
+
+* :data:`TEST_GROUP` — a 256-bit safe prime, fast enough to run thousands
+  of protocol instances in tests and benchmarks while preserving all the
+  algebraic structure (the paper's proofs never depend on the modulus
+  size, only on group structure);
+* :data:`GROUP_2048` — a 2048-bit MODP group (RFC 3526) for
+  production-strength parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SchnorrGroup:
+    """A cyclic group of prime order ``q`` inside Z_p^* with generator ``g``.
+
+    For a safe prime ``p = 2q + 1`` the quadratic residues form the unique
+    subgroup of order ``q``.
+    """
+
+    p: int
+    q: int
+    g: int
+
+    def __post_init__(self) -> None:
+        if pow(self.g, self.q, self.p) != 1:
+            raise ValueError("generator does not have order q")
+        if self.g in (0, 1):
+            raise ValueError("degenerate generator")
+
+    # -- group operations ------------------------------------------------
+
+    def exp(self, base: int, exponent: int) -> int:
+        """``base ** exponent mod p`` (exponent reduced mod q)."""
+        return pow(base, exponent % self.q, self.p)
+
+    def power_of_g(self, exponent: int) -> int:
+        """``g ** exponent mod p``."""
+        return self.exp(self.g, exponent)
+
+    def mul(self, a: int, b: int) -> int:
+        """Group multiplication."""
+        return (a * b) % self.p
+
+    def inv(self, a: int) -> int:
+        """Group inverse."""
+        return pow(a, -1, self.p)
+
+    def is_member(self, a: int) -> bool:
+        """Membership test for the order-q subgroup."""
+        return 0 < a < self.p and pow(a, self.q, self.p) == 1
+
+    def random_scalar(self, rng) -> int:
+        """Uniform exponent in [1, q)."""
+        return rng.randrange(1, self.q)
+
+    def random_element(self, rng) -> int:
+        """Uniform non-identity group element."""
+        return self.power_of_g(self.random_scalar(rng))
+
+    def element_to_bytes(self, a: int) -> bytes:
+        """Fixed-width big-endian encoding of a group element."""
+        width = (self.p.bit_length() + 7) // 8
+        return a.to_bytes(width, "big")
+
+    def discrete_log_small(self, target: int, base: Optional[int] = None, bound: int = 1 << 20) -> int:
+        """Brute-force discrete log for small exponents.
+
+        Self-tallying elections recover the tally as the discrete log of
+        :math:`g^{\\sum v_i}`, which is at most (#voters × max-vote) — tiny.
+
+        Raises:
+            ValueError: if no exponent below ``bound`` matches.
+        """
+        base = self.g if base is None else base
+        accumulator = 1
+        for exponent in range(bound):
+            if accumulator == target:
+                return exponent
+            accumulator = self.mul(accumulator, base)
+        raise ValueError("discrete log not found below bound")
+
+
+def _find_safe_prime_group(p: int) -> SchnorrGroup:
+    q = (p - 1) // 2
+    # 4 = 2^2 is always a quadratic residue, hence has order q.
+    return SchnorrGroup(p=p, q=q, g=4)
+
+
+#: 256-bit safe prime group for tests/benchmarks.
+#: p = 2q+1 with p, q prime (verified in tests/test_groups.py).
+TEST_GROUP = _find_safe_prime_group(
+    0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF72EF
+)
+
+#: RFC 3526 2048-bit MODP group (generator 2 generates the full group of
+#: order 2q; we use g=4 for the order-q subgroup of quadratic residues).
+_P_2048 = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+GROUP_2048 = SchnorrGroup(p=_P_2048, q=(_P_2048 - 1) // 2, g=4)

@@ -1,0 +1,68 @@
+"""Hash utilities: SHA-256 with domain separation, XOR, integer hashing.
+
+The paper instantiates all hashing as random oracles; concrete code uses
+SHA-256 (a standard instantiation).  ``pycryptodome`` is not available in
+this environment, and nothing here needs more than a hash — ``hashlib``
+is a faithful substitute.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Output length of the base hash, in bytes (λ = 256 bits).
+DIGEST_SIZE = 32
+
+
+def hash_bytes(*parts: bytes, domain: bytes = b"") -> bytes:
+    """SHA-256 over length-prefixed ``parts`` with optional domain tag.
+
+    Length-prefixing makes the encoding injective, so distinct argument
+    tuples can never collide by concatenation ambiguity.
+    """
+    h = hashlib.sha256()
+    h.update(len(domain).to_bytes(2, "big"))
+    h.update(domain)
+    for part in parts:
+        h.update(len(part).to_bytes(8, "big"))
+        h.update(part)
+    return h.digest()
+
+
+def hash_to_int(*parts: bytes, modulus: int, domain: bytes = b"") -> int:
+    """Hash ``parts`` into the range ``[0, modulus)``.
+
+    Uses enough hash output (digest expansion by counter) that the result
+    is statistically close to uniform modulo ``modulus``.
+    """
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    need = (modulus.bit_length() + 7) // 8 + 16  # 128-bit slack
+    stream = b""
+    counter = 0
+    while len(stream) < need:
+        stream += hash_bytes(counter.to_bytes(4, "big"), *parts, domain=domain)
+        counter += 1
+    return int.from_bytes(stream[:need], "big") % modulus
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """Bytewise XOR of two equal-length strings.
+
+    Raises:
+        ValueError: on length mismatch (an XOR of mismatched pads is
+            almost always a protocol bug).
+    """
+    if len(a) != len(b):
+        raise ValueError(f"xor length mismatch: {len(a)} vs {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def expand(seed: bytes, length: int, domain: bytes = b"expand") -> bytes:
+    """Expand ``seed`` into ``length`` pseudorandom bytes (counter mode)."""
+    out = b""
+    counter = 0
+    while len(out) < length:
+        out += hash_bytes(seed, counter.to_bytes(8, "big"), domain=domain)
+        counter += 1
+    return out[:length]

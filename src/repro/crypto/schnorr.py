@@ -1,0 +1,69 @@
+"""Schnorr signatures (EUF-CMA in the random-oracle model).
+
+Fact 1 of the paper realizes ``FRBC`` via Dolev–Strong, which needs a
+UC-secure signature scheme; ``Fcert`` (Figure 4) abstracts exactly that.
+This module provides the concrete scheme used when running the *composed*
+world (Dolev–Strong over real signatures instead of the ideal ``Fcert``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.groups import SchnorrGroup, TEST_GROUP
+from repro.crypto.hashing import hash_to_int
+
+
+@dataclass(frozen=True)
+class SchnorrKeyPair:
+    """A Schnorr signing key ``x`` with verification key ``y = g^x``."""
+
+    group: SchnorrGroup
+    secret: int
+    public: int
+
+
+@dataclass(frozen=True)
+class SchnorrSignature:
+    """A signature (commitment ``r``, response ``s``)."""
+
+    r: int
+    s: int
+
+
+def schnorr_keygen(rng, group: SchnorrGroup = TEST_GROUP) -> SchnorrKeyPair:
+    """Sample a key pair in ``group``."""
+    secret = group.random_scalar(rng)
+    return SchnorrKeyPair(group=group, secret=secret, public=group.power_of_g(secret))
+
+
+def _challenge(group: SchnorrGroup, r: int, public: int, message: bytes) -> int:
+    return hash_to_int(
+        group.element_to_bytes(r),
+        group.element_to_bytes(public),
+        message,
+        modulus=group.q,
+        domain=b"schnorr-sig",
+    )
+
+
+def schnorr_sign(keypair: SchnorrKeyPair, message: bytes, rng) -> SchnorrSignature:
+    """Sign ``message``: r = g^k, e = H(r, y, M), s = k + e·x mod q."""
+    group = keypair.group
+    k = group.random_scalar(rng)
+    r = group.power_of_g(k)
+    e = _challenge(group, r, keypair.public, message)
+    s = (k + e * keypair.secret) % group.q
+    return SchnorrSignature(r=r, s=s)
+
+
+def schnorr_verify(
+    group: SchnorrGroup, public: int, message: bytes, signature: SchnorrSignature
+) -> bool:
+    """Verify: g^s == r · y^e."""
+    if not group.is_member(public) or not group.is_member(signature.r):
+        return False
+    e = _challenge(group, signature.r, public, message)
+    lhs = group.power_of_g(signature.s)
+    rhs = group.mul(signature.r, group.exp(public, e))
+    return lhs == rhs

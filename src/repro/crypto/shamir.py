@@ -1,0 +1,132 @@
+"""Shamir secret sharing and Feldman verifiable secret sharing.
+
+The honest-majority SBC baseline of Hevia [Hev06] (and the original
+[CGMA85] construction it descends from) is built on verifiable secret
+sharing: each sender VSS-shares its message, and reconstruction after the
+sharing phase yields simultaneity *provided* fewer than half the parties
+are corrupted.  We implement Shamir sharing over the scalar field of a
+Schnorr group with Feldman commitments for verifiability, so benchmark E8
+can show exactly where the honest-majority baseline breaks while the
+paper's TLE-based protocol keeps working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.crypto.groups import SchnorrGroup
+
+
+@dataclass(frozen=True)
+class Share:
+    """One Shamir share: evaluation point ``x`` (>=1) and value ``y``."""
+
+    x: int
+    y: int
+
+
+@dataclass(frozen=True)
+class FeldmanCommitment:
+    """Feldman commitments ``g^{a_k}`` to the polynomial coefficients."""
+
+    commitments: Tuple[int, ...]
+
+    @property
+    def degree(self) -> int:
+        return len(self.commitments) - 1
+
+
+def share_secret(
+    secret: int, threshold: int, parties: int, modulus: int, rng
+) -> List[Share]:
+    """Split ``secret`` into ``parties`` shares, any ``threshold+1`` reconstruct.
+
+    Args:
+        secret: The secret, an element of Z_modulus.
+        threshold: Maximum number of shares revealing nothing (polynomial
+            degree ``t``); reconstruction needs ``t+1`` shares.
+        parties: Number of shares to produce.
+        modulus: A prime field size.
+        rng: Randomness source.
+
+    Raises:
+        ValueError: if parameters are inconsistent.
+    """
+    if not 0 <= threshold < parties:
+        raise ValueError("need 0 <= threshold < parties")
+    if parties >= modulus:
+        raise ValueError("field too small for this many parties")
+    coefficients = [secret % modulus] + [
+        rng.randrange(modulus) for _ in range(threshold)
+    ]
+    return [
+        Share(x=i, y=_evaluate(coefficients, i, modulus)) for i in range(1, parties + 1)
+    ]
+
+
+def _evaluate(coefficients: Sequence[int], x: int, modulus: int) -> int:
+    result = 0
+    for coefficient in reversed(coefficients):
+        result = (result * x + coefficient) % modulus
+    return result
+
+
+def reconstruct_secret(shares: Sequence[Share], modulus: int) -> int:
+    """Lagrange interpolation at 0.
+
+    Raises:
+        ValueError: on duplicate evaluation points.
+    """
+    points: Dict[int, int] = {}
+    for share in shares:
+        if share.x in points and points[share.x] != share.y:
+            raise ValueError(f"conflicting shares at x={share.x}")
+        points[share.x] = share.y
+    xs = list(points)
+    secret = 0
+    for xi in xs:
+        numerator, denominator = 1, 1
+        for xj in xs:
+            if xj == xi:
+                continue
+            numerator = (numerator * (-xj)) % modulus
+            denominator = (denominator * (xi - xj)) % modulus
+        lagrange = numerator * pow(denominator, -1, modulus) % modulus
+        secret = (secret + points[xi] * lagrange) % modulus
+    return secret
+
+
+# ---------------------------------------------------------------------------
+# Feldman VSS
+# ---------------------------------------------------------------------------
+
+
+def feldman_share(
+    group: SchnorrGroup, secret: int, threshold: int, parties: int, rng
+) -> Tuple[List[Share], FeldmanCommitment]:
+    """Shamir-share ``secret`` over Z_q and publish ``g^{a_k}`` commitments."""
+    if not 0 <= threshold < parties:
+        raise ValueError("need 0 <= threshold < parties")
+    coefficients = [secret % group.q] + [
+        rng.randrange(group.q) for _ in range(threshold)
+    ]
+    shares = [
+        Share(x=i, y=_evaluate(coefficients, i, group.q))
+        for i in range(1, parties + 1)
+    ]
+    commitment = FeldmanCommitment(
+        commitments=tuple(group.power_of_g(a) for a in coefficients)
+    )
+    return shares, commitment
+
+
+def feldman_verify(group: SchnorrGroup, share: Share, commitment: FeldmanCommitment) -> bool:
+    """Check ``g^y == Π C_k^{x^k}`` for the share."""
+    lhs = group.power_of_g(share.y)
+    rhs = 1
+    power = 1
+    for c in commitment.commitments:
+        rhs = group.mul(rhs, group.exp(c, power))
+        power = (power * share.x) % group.q
+    return lhs == rhs

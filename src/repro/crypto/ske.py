@@ -1,0 +1,88 @@
+"""Symmetric-key encryption ΣSKE = (SKE.Gen, SKE.Enc, SKE.Dec).
+
+The Astrolabous TLE scheme (paper Section 2.4) is generic over any
+IND-CPA symmetric scheme.  We use a hash-based stream cipher with a fresh
+random nonce plus an encrypt-then-MAC tag, giving authenticated encryption
+— decryption with a wrong key *fails loudly*, which the TLE decryption
+path relies on to reject malformed puzzles.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+import secrets
+from dataclasses import dataclass
+
+from repro.crypto.hashing import expand, xor_bytes
+
+KEY_SIZE = 32
+NONCE_SIZE = 16
+TAG_SIZE = 32
+
+
+class DecryptionError(Exception):
+    """Ciphertext failed authentication (wrong key or tampered data)."""
+
+
+@dataclass(frozen=True)
+class SymmetricKey:
+    """An SKE key (32 random bytes)."""
+
+    material: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.material) != KEY_SIZE:
+            raise ValueError(f"key must be {KEY_SIZE} bytes")
+
+
+def ske_gen(rng=None) -> SymmetricKey:
+    """SKE.Gen: sample a fresh key.
+
+    Args:
+        rng: Optional ``random.Random`` for deterministic tests; defaults
+            to the OS CSPRNG.
+    """
+    if rng is None:
+        return SymmetricKey(secrets.token_bytes(KEY_SIZE))
+    return SymmetricKey(rng.getrandbits(8 * KEY_SIZE).to_bytes(KEY_SIZE, "big"))
+
+
+def _keystream(key: SymmetricKey, nonce: bytes, length: int) -> bytes:
+    return expand(key.material + nonce, length, domain=b"ske-stream")
+
+
+def _mac(key: SymmetricKey, data: bytes) -> bytes:
+    return hmac.new(key.material, data, hashlib.sha256).digest()
+
+
+def ske_encrypt(key: SymmetricKey, plaintext: bytes, rng=None) -> bytes:
+    """SKE.Enc: encrypt ``plaintext`` under ``key``.
+
+    Layout: ``nonce || body || tag`` where ``body = plaintext XOR stream``
+    and ``tag = HMAC(key, nonce || body)``.
+    """
+    if rng is None:
+        nonce = secrets.token_bytes(NONCE_SIZE)
+    else:
+        nonce = rng.getrandbits(8 * NONCE_SIZE).to_bytes(NONCE_SIZE, "big")
+    body = xor_bytes(plaintext, _keystream(key, nonce, len(plaintext)))
+    tag = _mac(key, nonce + body)
+    return nonce + body + tag
+
+
+def ske_decrypt(key: SymmetricKey, ciphertext: bytes) -> bytes:
+    """SKE.Dec: decrypt, verifying the authentication tag.
+
+    Raises:
+        DecryptionError: if the ciphertext is malformed or the tag does
+            not verify under ``key``.
+    """
+    if len(ciphertext) < NONCE_SIZE + TAG_SIZE:
+        raise DecryptionError("ciphertext too short")
+    nonce = ciphertext[:NONCE_SIZE]
+    body = ciphertext[NONCE_SIZE:-TAG_SIZE]
+    tag = ciphertext[-TAG_SIZE:]
+    if not hmac.compare_digest(tag, _mac(key, nonce + body)):
+        raise DecryptionError("authentication failed")
+    return xor_bytes(body, _keystream(key, nonce, len(body)))

@@ -1,0 +1,230 @@
+"""Σ-protocol zero-knowledge proofs (Fiat–Shamir, non-interactive).
+
+The self-tallying protocol ΠSTVS (paper Figure 18) posts each ballot "along
+with a proof that the ballot encrypts an allowable vote and that the
+correct secret exponent was used".  We provide:
+
+* :func:`pok_prove` / :func:`pok_verify` — Schnorr proof of knowledge of a
+  discrete log;
+* :func:`cp_prove` / :func:`cp_verify` — Chaum–Pedersen proof that two
+  logs are equal (same secret under two bases);
+* :func:`ballot_prove` / :func:`ballot_verify` — disjunctive (OR-composed)
+  Chaum–Pedersen proof that a ballot :math:`b = r^{x} g^{v}` was formed
+  with the registered secret exponent ``x`` (i.e. ``w = g^x``) and a vote
+  ``v`` from the allowed choice set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.crypto.groups import SchnorrGroup
+from repro.crypto.hashing import hash_to_int
+
+
+# ---------------------------------------------------------------------------
+# Schnorr proof of knowledge of a discrete log
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SchnorrProof:
+    """Non-interactive Schnorr PoK: commitment ``a``, response ``s``."""
+
+    a: int
+    s: int
+
+
+def _fs_challenge(group: SchnorrGroup, *elements: int, domain: bytes) -> int:
+    return hash_to_int(
+        *[group.element_to_bytes(element) for element in elements],
+        modulus=group.q,
+        domain=domain,
+    )
+
+
+def pok_prove(group: SchnorrGroup, base: int, public: int, secret: int, rng) -> SchnorrProof:
+    """Prove knowledge of ``secret`` with ``public = base^secret``."""
+    k = group.random_scalar(rng)
+    a = group.exp(base, k)
+    e = _fs_challenge(group, base, public, a, domain=b"pok")
+    s = (k + e * secret) % group.q
+    return SchnorrProof(a=a, s=s)
+
+
+def pok_verify(group: SchnorrGroup, base: int, public: int, proof: SchnorrProof) -> bool:
+    """Check ``base^s == a · public^e``."""
+    if not group.is_member(proof.a):
+        return False
+    e = _fs_challenge(group, base, public, proof.a, domain=b"pok")
+    return group.exp(base, proof.s) == group.mul(proof.a, group.exp(public, e))
+
+
+# ---------------------------------------------------------------------------
+# Chaum–Pedersen equality of discrete logs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CPProof:
+    """Chaum–Pedersen proof: commitments ``a1, a2``, response ``s``."""
+
+    a1: int
+    a2: int
+    s: int
+
+
+def cp_prove(
+    group: SchnorrGroup,
+    base1: int,
+    public1: int,
+    base2: int,
+    public2: int,
+    secret: int,
+    rng,
+) -> CPProof:
+    """Prove ``log_base1(public1) == log_base2(public2) == secret``."""
+    k = group.random_scalar(rng)
+    a1 = group.exp(base1, k)
+    a2 = group.exp(base2, k)
+    e = _fs_challenge(group, base1, public1, base2, public2, a1, a2, domain=b"cp")
+    s = (k + e * secret) % group.q
+    return CPProof(a1=a1, a2=a2, s=s)
+
+
+def cp_verify(
+    group: SchnorrGroup,
+    base1: int,
+    public1: int,
+    base2: int,
+    public2: int,
+    proof: CPProof,
+) -> bool:
+    """Check both verification equations against the joint challenge."""
+    if not (group.is_member(proof.a1) and group.is_member(proof.a2)):
+        return False
+    e = _fs_challenge(
+        group, base1, public1, base2, public2, proof.a1, proof.a2, domain=b"cp"
+    )
+    ok1 = group.exp(base1, proof.s) == group.mul(proof.a1, group.exp(public1, e))
+    ok2 = group.exp(base2, proof.s) == group.mul(proof.a2, group.exp(public2, e))
+    return ok1 and ok2
+
+
+# ---------------------------------------------------------------------------
+# Disjunctive ballot validity proof (OR of Chaum–Pedersen statements)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BallotProof:
+    """An OR-proof over the allowed vote set.
+
+    For each allowed vote ``v`` there is a branch with commitments
+    ``(a1, a2)``, a per-branch challenge ``e`` and response ``s``; the
+    per-branch challenges sum to the Fiat–Shamir challenge.
+    """
+
+    branches: Tuple[Tuple[int, int, int, int], ...]  # (a1, a2, e, s) per choice
+
+
+def _ballot_statement(
+    group: SchnorrGroup, seed: int, w: int, ballot: int, vote: int
+) -> Tuple[int, int]:
+    """Statement for branch ``vote``: log_g(w) = log_seed(ballot / g^vote)."""
+    shifted = group.mul(ballot, group.inv(group.power_of_g(vote)))
+    return w, shifted
+
+
+def ballot_prove(
+    group: SchnorrGroup,
+    seed: int,
+    w: int,
+    ballot: int,
+    secret: int,
+    vote: int,
+    choices: Sequence[int],
+    rng,
+    key_base: int = 0,
+) -> BallotProof:
+    """Prove ``ballot = seed^secret · g^vote`` with ``w = base^secret``, vote ∈ choices.
+
+    ``key_base`` is the base of the verification key (default ``g``); the
+    STVS protocol uses a separate public base ``w`` for voter keys.
+
+    Standard CDS OR-composition: the real branch is proved honestly, every
+    other branch is simulated with a random challenge/response pair, and
+    the real branch's challenge absorbs the difference so the challenges
+    sum to the global Fiat–Shamir challenge.
+    """
+    key_base = key_base or group.g
+    choices = list(choices)
+    if vote not in choices:
+        raise ValueError("vote not in allowed choice set")
+    real_index = choices.index(vote)
+    commitments: List[Tuple[int, int]] = [(0, 0)] * len(choices)
+    challenges: List[int] = [0] * len(choices)
+    responses: List[int] = [0] * len(choices)
+
+    k = group.random_scalar(rng)
+    for index, choice in enumerate(choices):
+        public1, public2 = _ballot_statement(group, seed, w, ballot, choice)
+        if index == real_index:
+            commitments[index] = (group.exp(key_base, k), group.exp(seed, k))
+        else:
+            challenges[index] = group.random_scalar(rng)
+            responses[index] = group.random_scalar(rng)
+            a1 = group.mul(
+                group.exp(key_base, responses[index]),
+                group.inv(group.exp(public1, challenges[index])),
+            )
+            a2 = group.mul(
+                group.exp(seed, responses[index]),
+                group.inv(group.exp(public2, challenges[index])),
+            )
+            commitments[index] = (a1, a2)
+
+    flat: List[int] = [seed, w, ballot]
+    for a1, a2 in commitments:
+        flat.extend((a1, a2))
+    global_challenge = _fs_challenge(group, *flat, domain=b"ballot-or")
+
+    challenges[real_index] = (global_challenge - sum(challenges)) % group.q
+    responses[real_index] = (k + challenges[real_index] * secret) % group.q
+
+    return BallotProof(
+        branches=tuple(
+            (commitments[i][0], commitments[i][1], challenges[i], responses[i])
+            for i in range(len(choices))
+        )
+    )
+
+
+def ballot_verify(
+    group: SchnorrGroup,
+    seed: int,
+    w: int,
+    ballot: int,
+    proof: BallotProof,
+    choices: Sequence[int],
+    key_base: int = 0,
+) -> bool:
+    """Verify a disjunctive ballot proof against the allowed choice set."""
+    key_base = key_base or group.g
+    choices = list(choices)
+    if len(proof.branches) != len(choices):
+        return False
+    flat: List[int] = [seed, w, ballot]
+    for a1, a2, _, _ in proof.branches:
+        flat.extend((a1, a2))
+    global_challenge = _fs_challenge(group, *flat, domain=b"ballot-or")
+    if sum(e for _, _, e, _ in proof.branches) % group.q != global_challenge:
+        return False
+    for (a1, a2, e, s), choice in zip(proof.branches, choices):
+        public1, public2 = _ballot_statement(group, seed, w, ballot, choice)
+        if group.exp(key_base, s) != group.mul(a1, group.exp(public1, e)):
+            return False
+        if group.exp(seed, s) != group.mul(a2, group.exp(public2, e)):
+            return False
+    return True

@@ -1,0 +1,52 @@
+"""Ideal (hybrid) functionalities from the paper's figures.
+
+Each module implements one figure, with the paper's command interfaces as
+methods.  Honest-party interfaces take the :class:`~repro.uc.entity.Party`
+machine; adversarial interfaces are prefixed ``adv_`` and enforce that the
+party acted for is actually corrupted.
+
+========================  ==============================================
+Module                    Paper object
+========================  ==============================================
+``random_oracle``         ``FRO`` (Figure 3), programmable
+``wrapper``               ``Wq(·)`` resource wrapper (Figure 5)
+``certification``         ``Fcert`` (Figure 4)
+``rbc``                   ``FRBC`` relaxed broadcast (Figure 6)
+``ubc``                   ``FUBC`` unfair broadcast (Figure 8)
+``fbc``                   ``F∆,α_FBC`` fair broadcast (Figure 10)
+``tle``                   ``F leak,delay_TLE`` (Figure 7)
+``sbc``                   ``FΦ,∆,α_SBC`` (Figure 13)
+``durs``                  ``F∆,α_DURS`` (Figure 15)
+``voting``                ``FΦ,∆,α_VS`` (Figure 17)
+``keygen``                ``FPKG`` / ``FSKG`` (Section 6.2 setup)
+``dummy``                 Dummy parties for ideal-world executions
+========================  ==============================================
+"""
+
+from repro.functionalities.random_oracle import RandomOracle
+from repro.functionalities.wrapper import QueryWrapper
+from repro.functionalities.certification import Certification, RealCertification
+from repro.functionalities.rbc import RelaxedBroadcast
+from repro.functionalities.ubc import UnfairBroadcast
+from repro.functionalities.fbc import FairBroadcast
+from repro.functionalities.tle import TimeLockEncryption
+from repro.functionalities.sbc import SimultaneousBroadcast
+from repro.functionalities.durs import DelayedURS
+from repro.functionalities.voting import VotingSystem
+from repro.functionalities.keygen import AuthorityKeyGen, VoterKeyGen
+
+__all__ = [
+    "AuthorityKeyGen",
+    "Certification",
+    "DelayedURS",
+    "FairBroadcast",
+    "QueryWrapper",
+    "RandomOracle",
+    "RealCertification",
+    "RelaxedBroadcast",
+    "SimultaneousBroadcast",
+    "TimeLockEncryption",
+    "UnfairBroadcast",
+    "VoterKeyGen",
+    "VotingSystem",
+]

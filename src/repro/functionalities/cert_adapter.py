@@ -1,0 +1,70 @@
+"""Bridging real signatures into the per-signer ``Fcert`` interface.
+
+Dolev–Strong machines talk to one certification object per signer
+(``sign``/``verify``).  :class:`SignerCert` exposes that interface backed
+by a shared :class:`~repro.functionalities.certification.
+RealCertification` (Schnorr signatures + CA registry), so the broadcast
+layer can run over *computational* signatures instead of the ideal box —
+the last substitution between the paper's model and a deployable stack.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from repro.functionalities.certification import RealCertification
+from repro.uc.entity import Functionality
+from repro.uc.errors import CorruptionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.uc.session import Session
+
+
+class SignerCert(Functionality):
+    """Per-signer facade over a shared :class:`RealCertification`.
+
+    Implements the same ``sign(pid, message)`` / ``verify(message,
+    signature)`` surface as the ideal
+    :class:`~repro.functionalities.certification.Certification`, with
+    signatures encoded as byte strings so they slot into existing
+    signature-chain code unchanged.
+    """
+
+    def __init__(self, session: "Session", authority: RealCertification, signer: str) -> None:
+        super().__init__(session, f"{authority.fid}:{signer}")
+        self.authority = authority
+        self.signer = signer
+        authority.ensure_key(signer)
+
+    @staticmethod
+    def _encode(signature: Tuple[int, int]) -> bytes:
+        r, s = signature
+        return r.to_bytes(64, "big") + s.to_bytes(64, "big")
+
+    @staticmethod
+    def _decode(raw: bytes) -> Tuple[int, int]:
+        return int.from_bytes(raw[:64], "big"), int.from_bytes(raw[64:], "big")
+
+    def sign(self, pid: str, message: bytes) -> bytes:
+        """Sign as the designated signer.
+
+        Raises:
+            CorruptionError: if someone else's pid is supplied.
+        """
+        if pid != self.signer:
+            raise CorruptionError(f"{pid} is not the signer of {self.fid}")
+        return self._encode(self.authority.sign(self.signer, message))
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Verify against the signer's certified Schnorr key."""
+        if len(signature) != 128:
+            return False
+        return self.authority.verify(self.signer, message, self._decode(signature))
+
+
+def real_cert_suite(
+    session: "Session", pids, fid: str = "RealCert"
+) -> Dict[str, SignerCert]:
+    """One shared CA, one :class:`SignerCert` per party."""
+    authority = RealCertification(session, fid=fid)
+    return {pid: SignerCert(session, authority, pid) for pid in pids}

@@ -1,0 +1,131 @@
+"""The certification functionality ``Fcert`` (paper Figure 4).
+
+``Fcert`` abstracts identity-bound signatures: one instance per signer;
+verification consults an ideal registry, so signatures are perfectly
+unforgeable while the signer is honest.  Once the signer is corrupted the
+adversary may register arbitrary message/signature pairs (clause 4 of the
+figure: the functionality defers to the simulator's verdict ``ϕ``).
+
+:class:`RealCertification` is the computational realization (Schnorr
+signatures + a certificate registry), used when running the fully-composed
+world of Corollary 1.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from repro.crypto.schnorr import (
+    SchnorrKeyPair,
+    schnorr_keygen,
+    schnorr_sign,
+    schnorr_verify,
+)
+from repro.uc.entity import Functionality
+from repro.uc.errors import CorruptionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.uc.session import Session
+
+
+class Certification(Functionality):
+    """Ideal ``Fcert`` for one signer.
+
+    Args:
+        session: Owning session.
+        signer: Party id of the signer this instance is tied to.
+        fid: Functionality id (defaults to ``Fcert:<signer>``).
+    """
+
+    def __init__(self, session: "Session", signer: str, fid: str = "") -> None:
+        super().__init__(session, fid or f"Fcert:{signer}")
+        self.signer = signer
+        # message -> (signature token, valid flag)
+        self._registry: Dict[Tuple[bytes, bytes], bool] = {}
+        self._signed: Dict[bytes, bytes] = {}
+
+    def sign(self, pid: str, message: bytes) -> bytes:
+        """Sign ``message`` (signer only).
+
+        Raises:
+            CorruptionError: if anyone but the designated signer calls.
+        """
+        if pid != self.signer:
+            raise CorruptionError(f"{pid} is not the signer of {self.fid}")
+        self.session.metrics.count_signature("sign")
+        if message in self._signed:
+            signature = self._signed[message]
+        else:
+            signature = self.session.fresh_tag()
+            self._signed[message] = signature
+            self._registry[(message, signature)] = True
+        self.record("sign", message[:16])
+        return signature
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Verify per the Figure 4 decision procedure."""
+        self.session.metrics.count_signature("verify")
+        key = (message, signature)
+        if key in self._registry:
+            return self._registry[key]
+        if not self.session.is_corrupted(self.signer):
+            # Honest signer, never produced this pair: perfect unforgeability.
+            self._registry[key] = False
+            return False
+        # Corrupted signer: the adversary decides; default to rejecting
+        # unless it registered a forgery via adv_register.
+        self._registry[key] = False
+        return False
+
+    def adv_register(self, message: bytes, signature: bytes, valid: bool = True) -> None:
+        """Adversarial forgery registration (signer must be corrupted).
+
+        Raises:
+            CorruptionError: if the signer is honest.
+        """
+        self.require_corrupted(self.signer)
+        self._registry[(message, signature)] = valid
+        self.record("forge", message[:16])
+
+
+class RealCertification(Functionality):
+    """Computational realization of ``Fcert`` via Schnorr signatures.
+
+    One instance serves *all* signers (it keeps a key registry — the
+    trusted certification-authority role of [Can04]).  When a party is
+    corrupted its signing key is part of the exposed state, so the
+    adversary can sign on its behalf via :meth:`sign` with the corrupted
+    pid — matching what corruption means computationally.
+    """
+
+    def __init__(self, session: "Session", fid: str = "RealCert") -> None:
+        super().__init__(session, fid)
+        self._keys: Dict[str, SchnorrKeyPair] = {}
+
+    def ensure_key(self, pid: str) -> SchnorrKeyPair:
+        """Generate (once) and return the key pair certified for ``pid``."""
+        if pid not in self._keys:
+            self._keys[pid] = schnorr_keygen(self.session.rng)
+        return self._keys[pid]
+
+    def sign(self, pid: str, message: bytes) -> Tuple[int, int]:
+        """Sign ``message`` under ``pid``'s certified key."""
+        self.session.metrics.count_signature("sign")
+        keypair = self.ensure_key(pid)
+        signature = schnorr_sign(keypair, message, self.session.rng)
+        return (signature.r, signature.s)
+
+    def verify(self, pid: str, message: bytes, signature: Tuple[int, int]) -> bool:
+        """Verify ``signature`` on ``message`` against ``pid``'s key."""
+        self.session.metrics.count_signature("verify")
+        if pid not in self._keys:
+            return False
+        from repro.crypto.schnorr import SchnorrSignature
+
+        keypair = self._keys[pid]
+        return schnorr_verify(
+            keypair.group,
+            keypair.public,
+            message,
+            SchnorrSignature(r=signature[0], s=signature[1]),
+        )

@@ -1,0 +1,92 @@
+"""Dummy parties for ideal-world executions.
+
+In the ideal world, parties are dummies: they forward inputs to the ideal
+functionality and forward its outputs to the environment.  One dummy class
+per functionality family keeps the input interfaces named like the paper's
+commands, so environment scripts read identically against the ideal world
+and the real protocol machines (which deliberately share method names).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.uc.entity import Functionality, Party
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.functionalities.durs import DelayedURS
+    from repro.functionalities.fbc import FairBroadcast
+    from repro.functionalities.sbc import SimultaneousBroadcast
+    from repro.functionalities.tle import TimeLockEncryption
+    from repro.functionalities.ubc import UnfairBroadcast
+    from repro.functionalities.voting import VotingSystem
+    from repro.uc.session import Session
+
+
+class DummyParty(Party):
+    """Base dummy: forwards every delivery straight to Z."""
+
+    def __init__(self, session: "Session", pid: str, functionality: Functionality) -> None:
+        super().__init__(session, pid)
+        self.functionality = functionality
+        self.clock_recipients = [functionality]
+
+    def on_deliver(self, message: Any, source: Functionality) -> None:
+        if source.fid == self.functionality.fid:
+            self.output(message)
+        else:
+            # Deliveries from lower layers belong to the protocol adapters
+            # wired through the routing table.
+            super().on_deliver(message, source)
+
+
+class DummyBroadcastParty(DummyParty):
+    """Dummy for FUBC / FFBC / FSBC: ``broadcast(M)`` input."""
+
+    def broadcast(self, message: Any) -> Optional[bytes]:
+        """Forward a ``Broadcast`` input to the ideal functionality."""
+        return self.functionality.broadcast(self, message)
+
+
+class DummyTLEParty(DummyParty):
+    """Dummy for FTLE: Enc / Retrieve / Dec inputs."""
+
+    def enc(self, message: Any, tau: int) -> str:
+        """Forward an ``Enc`` input."""
+        return self.functionality.enc(self, message, tau)
+
+    def retrieve(self):
+        """Forward a ``Retrieve`` input; the response goes to Z."""
+        result = self.functionality.retrieve(self)
+        self.output(("Encrypted", result))
+        return result
+
+    def dec(self, ciphertext: Any, tau: int) -> Any:
+        """Forward a ``Dec`` input; the response goes to Z."""
+        result = self.functionality.dec(self, ciphertext, tau)
+        self.output(("Dec", ciphertext, tau, result))
+        return result
+
+
+class DummyURSParty(DummyParty):
+    """Dummy for FDURS: ``urs_request()`` input."""
+
+    def __init__(self, session: "Session", pid: str, functionality: Functionality) -> None:
+        super().__init__(session, pid, functionality)
+        self.waiting = False
+
+    def urs_request(self) -> Optional[bytes]:
+        """Forward a ``URS`` request; immediate responses go to Z too."""
+        self.waiting = True
+        result = self.functionality.request(self)
+        if result is not None:
+            self.output(("URS", result))
+        return result
+
+
+class DummyVoterParty(DummyParty):
+    """Dummy for FVS: ``vote(v)`` input."""
+
+    def vote(self, value: Any) -> Optional[bytes]:
+        """Forward a ``Vote`` input."""
+        return self.functionality.vote(self, value)

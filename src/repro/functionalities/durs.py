@@ -1,0 +1,92 @@
+"""The delayed uniform random string functionality ``F∆,α_DURS`` (Figure 15).
+
+A single uniform λ-bit string, released to each requesting party ``∆``
+rounds after the first request, and to the adversary ``α`` rounds earlier.
+The CRS analogue with an explicit delay — the ideal object a distributed
+randomness beacon realizes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Set
+
+from repro.uc.entity import Functionality, Party
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.uc.session import Session
+
+URS_LEN = 32  # λ bits = 256
+
+
+class DelayedURS(Functionality):
+    """``FDURS``: one uniform string, delayed delivery.
+
+    Args:
+        session: Owning session.
+        delta: Delay ∆ from the first request to delivery.
+        alpha: Simulator advantage α, ``0 ≤ α ≤ ∆``.
+    """
+
+    def __init__(
+        self, session: "Session", delta: int, alpha: int, fid: str = "FDURS"
+    ) -> None:
+        if not 0 <= alpha <= delta:
+            raise ValueError("need 0 <= alpha <= delta")
+        super().__init__(session, fid)
+        self.delta = delta
+        self.alpha = alpha
+        self.urs: Optional[bytes] = None
+        self.t_start: Optional[int] = None
+        self._waiting: Set[str] = set()
+        self._served: Set[str] = set()
+
+    def _ensure_sampled(self) -> None:
+        if self.urs is None:
+            self.urs = self.session.random_bytes(URS_LEN)
+
+    # -- requests -----------------------------------------------------------
+
+    def request(self, party: Party) -> Optional[bytes]:
+        """``URS`` request from an honest party.
+
+        Returns the string immediately if ``∆`` rounds have already
+        elapsed since the first request, otherwise registers the party to
+        receive it at ``tstart + ∆``.
+        """
+        if party.corrupted:
+            raise ValueError("honest interface used by corrupted party")
+        self._ensure_sampled()
+        now = self.time
+        self._waiting.add(party.pid)
+        if self.t_start is None:
+            self.t_start = now
+            self.leak(("Start", party.pid))
+        if now >= self.t_start + self.delta:
+            self._served.add(party.pid)
+            return self.urs
+        return None
+
+    def adv_request(self) -> Optional[bytes]:
+        """``URS`` request from the adversary (advantage α)."""
+        self._ensure_sampled()
+        now = self.time
+        if self.t_start is None:
+            self.t_start = now
+            self.leak(("Start", "S"))
+        if now >= self.t_start + self.delta - self.alpha:
+            return self.urs
+        return None
+
+    # -- clock ---------------------------------------------------------------
+
+    def on_party_tick(self, party: Party) -> None:
+        """Deliver to waiting parties ticking in round ``tstart + ∆``."""
+        if self.t_start is None:
+            return
+        if (
+            self.time == self.t_start + self.delta
+            and party.pid in self._waiting
+            and party.pid not in self._served
+        ):
+            self._served.add(party.pid)
+            self.deliver(party, ("URS", self.urs))

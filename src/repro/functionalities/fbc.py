@@ -1,0 +1,131 @@
+"""The fair broadcast functionality ``F∆,α_FBC`` (paper Figure 10).
+
+Fairness: the adversary learns only a handle (tag + sender) when an honest
+party requests a broadcast.  After ``∆ − α`` rounds it may obtain the value
+(``Output_Request``) — but at that instant the value becomes *locked*:
+corrupting the sender no longer permits replacement.  Replacement via
+``Allow`` is possible only for corrupted senders whose value is not yet
+locked.  Parties receive each message exactly ``∆`` rounds after the
+request, sorted lexicographically within the delivery batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.uc.encoding import sort_key
+from repro.uc.entity import Functionality, Party
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.uc.session import Session
+
+
+@dataclass
+class _Record:
+    tag: bytes
+    message: Any
+    sender: str
+    requested_at: int
+    locked: bool = False
+    delivered_to: set = field(default_factory=set)
+
+
+class FairBroadcast(Functionality):
+    """``F∆,α_FBC``: multi-shot fair broadcast with delay ∆ and advantage α.
+
+    Args:
+        session: Owning session.
+        delta: Delivery delay ∆ (rounds from request to party delivery).
+        alpha: Simulator advantage α (adversary may read the value
+            ``∆ − α`` rounds after the request). Requires ``0 ≤ α ≤ ∆``.
+    """
+
+    def __init__(
+        self, session: "Session", delta: int, alpha: int, fid: str = "FFBC"
+    ) -> None:
+        if not 0 <= alpha <= delta:
+            raise ValueError("need 0 <= alpha <= delta")
+        super().__init__(session, fid)
+        self.delta = delta
+        self.alpha = alpha
+        self._records: Dict[bytes, _Record] = {}
+
+    # -- broadcast requests ---------------------------------------------------
+
+    def broadcast(self, party: Party, message: Any) -> bytes:
+        """Broadcast request from an honest party; leaks only (tag, sender)."""
+        if party.corrupted:
+            raise ValueError("honest interface used by corrupted party")
+        return self._record_request(message, party.pid)
+
+    def adv_broadcast(self, pid: str, message: Any) -> bytes:
+        """Broadcast request on behalf of a corrupted party."""
+        self.require_corrupted(pid)
+        return self._record_request(message, pid)
+
+    def _record_request(self, message: Any, sender: str) -> bytes:
+        tag = self.session.fresh_tag()
+        self._records[tag] = _Record(
+            tag=tag, message=message, sender=sender, requested_at=self.time
+        )
+        self.leak(("Broadcast", tag, sender))
+        return tag
+
+    # -- adversarial interface ------------------------------------------------------
+
+    def adv_output_request(self, tag: bytes) -> Optional[Any]:
+        """``Output_Request``: reveal-and-lock, only at time ``∆ − α``.
+
+        Returns the (now locked) message, or ``None`` if the tag is
+        unknown, already locked, or the timing condition fails.
+        """
+        record = self._records.get(tag)
+        if record is None or record.locked:
+            return None
+        if self.time - record.requested_at != self.delta - self.alpha:
+            return None
+        record.locked = True
+        self.record("lock", (tag, record.sender))
+        return (tag, record.message, record.sender, record.requested_at)
+
+    def adv_corruption_request(self) -> List[Any]:
+        """Pending (unlocked) records of corrupted senders."""
+        return [
+            (r.tag, r.message, r.sender, r.requested_at)
+            for r in self._records.values()
+            if self.session.is_corrupted(r.sender) and not r.locked
+        ]
+
+    def adv_allow(self, tag: bytes, message: Any, pid: str) -> bool:
+        """Replace an *unlocked* pending message of corrupted sender ``pid``.
+
+        Returns True on success (``Allow_OK``).  Locked messages and honest
+        senders' messages are untouchable — this is the fairness guarantee.
+        """
+        record = self._records.get(tag)
+        if record is None or record.sender != pid:
+            return False
+        if not self.session.is_corrupted(pid):
+            return False
+        if record.locked:
+            return False
+        record.message = message
+        record.locked = True
+        self.record("allow", (tag, pid))
+        return True
+
+    # -- clock -------------------------------------------------------------------
+
+    def on_party_tick(self, party: Party) -> None:
+        """Deliver every record aged exactly ``∆`` to the ticking party."""
+        due = [
+            record
+            for record in self._records.values()
+            if self.time - record.requested_at == self.delta
+            and party.pid not in record.delivered_to
+        ]
+        due.sort(key=lambda record: sort_key(record.message))
+        for record in due:
+            record.delivered_to.add(party.pid)
+            self.deliver(party, ("Broadcast", record.message))

@@ -1,0 +1,94 @@
+"""The relaxed broadcast functionality ``FRBC`` (paper Figure 6).
+
+One instance carries a *single* message.  Agreement is guaranteed; validity
+only if the sender stays honest through its round ("weak validity" of
+[GKKZ11]).  The adversary may:
+
+* broadcast on behalf of an initially-corrupted sender (immediate delivery);
+* replace the message of a sender corrupted *after* it requested the
+  broadcast, via ``Allow`` — the unfairness that distinguishes this layer
+  from fair broadcast.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.uc.entity import Functionality, Party
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.uc.session import Session
+
+
+class RelaxedBroadcast(Functionality):
+    """``FRBC``: single-shot relaxed broadcast.
+
+    Attributes:
+        output: The recorded message (``None`` until a broadcast request).
+        sender: The recorded sender pid.
+        halted: Whether delivery has happened (the instance is spent).
+    """
+
+    def __init__(
+        self, session: "Session", fid: str, via: Optional[Functionality] = None
+    ) -> None:
+        super().__init__(session, fid)
+        self.output: Optional[Any] = None
+        self.sender: Optional[str] = None
+        self.halted = False
+        self.delivered: Optional[Any] = None
+        #: When part of a larger protocol (ΠUBC), deliveries are attributed
+        #: to the enclosing adapter so receivers can route by layer.
+        self.via = via
+
+    # -- honest interface -------------------------------------------------
+
+    def broadcast(self, party: Party, message: Any) -> None:
+        """``(sid, Broadcast, M)`` from an honest sender.
+
+        Records the output/sender pair and leaks the message to the
+        adversary.  Delivery happens on the sender's ``Advance_Clock``.
+        """
+        if party.corrupted or self.halted or self.sender is not None:
+            return
+        self.output = message
+        self.sender = party.pid
+        self.leak(("Broadcast", message, party.pid))
+
+    # -- adversarial interface -----------------------------------------------
+
+    def adv_broadcast(self, pid: str, message: Any) -> None:
+        """Broadcast from an initially-corrupted sender: immediate delivery."""
+        self.require_corrupted(pid)
+        if self.halted or self.sender is not None:
+            return
+        self.sender = pid
+        self._finish(message)
+
+    def adv_allow(self, message: Any) -> None:
+        """``(sid, Allow, M~)``: replace and deliver, if sender is corrupted.
+
+        Ignored while the sender is honest (the figure's last clause).
+        """
+        if self.halted or self.sender is None:
+            return
+        if not self.session.is_corrupted(self.sender):
+            return
+        self._finish(message)
+
+    # -- clock ---------------------------------------------------------------
+
+    def on_party_tick(self, party: Party) -> None:
+        """Sender completing its round forces delivery of the recorded value."""
+        if self.halted or party.pid != self.sender:
+            return
+        self._finish(self.output)
+
+    # -- internals -------------------------------------------------------------
+
+    def _finish(self, message: Any) -> None:
+        self.halted = True
+        self.delivered = message
+        payload = ("Broadcast", message, self.sender)
+        self.leak(payload)
+        (self.via or self).deliver_all(payload)

@@ -1,0 +1,156 @@
+"""The simultaneous broadcast functionality ``FΦ,∆,α_SBC`` (paper Figure 13).
+
+The first ``Broadcast`` request opens a broadcast period of ``Φ`` rounds;
+requests outside it are discarded.  Honest senders' requests leak only
+``0^{|M|}`` — *simultaneity*: the adversary commits its own messages
+without information about honest ones.  At the period's end honest pending
+messages are finalized (flag 1) and the batch is sorted; the adversary sees
+the batch at ``tend + ∆ − α`` and each party receives it on its tick at
+``tend + ∆`` — *liveness*: termination does not require full participation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple
+
+from repro.uc.encoding import encode, sort_key
+from repro.uc.entity import Functionality, Party
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.uc.session import Session
+
+
+@dataclass
+class _SBCRecord:
+    tag: bytes
+    message: Any
+    sender: str
+    requested_at: int
+    final: bool  # the figure's 5th coordinate (0 = replaceable, 1 = final)
+
+
+class SimultaneousBroadcast(Functionality):
+    """``FSBC``: broadcast period Φ, delivery delay ∆, simulator advantage α.
+
+    Args:
+        session: Owning session.
+        phi: Broadcast period length Φ (rounds).
+        delta: Delivery delay ∆ after the period ends.
+        alpha: Simulator advantage α, ``0 ≤ α ≤ ∆``.
+    """
+
+    def __init__(
+        self, session: "Session", phi: int, delta: int, alpha: int, fid: str = "FSBC"
+    ) -> None:
+        if phi <= 0:
+            raise ValueError("phi must be positive")
+        if not 0 <= alpha <= delta:
+            raise ValueError("need 0 <= alpha <= delta")
+        super().__init__(session, fid)
+        self.phi = phi
+        self.delta = delta
+        self.alpha = alpha
+        self.t_start: Optional[int] = None
+        self.t_end: Optional[int] = None
+        self._records: List[_SBCRecord] = []
+        self._finalized = False
+        self._adv_informed = False
+        self._rounds_seen = set()
+        self._delivered_to = set()
+
+    # -- broadcast requests ----------------------------------------------------
+
+    def broadcast(self, party: Party, message: Any) -> Optional[bytes]:
+        """Honest broadcast request; leaks only the message *length*."""
+        if party.corrupted:
+            raise ValueError("honest interface used by corrupted party")
+        return self._record_request(message, party.pid, honest=True)
+
+    def adv_broadcast(self, pid: str, message: Any) -> Optional[bytes]:
+        """Broadcast request on behalf of corrupted ``pid`` (leaks M to S)."""
+        self.require_corrupted(pid)
+        return self._record_request(message, pid, honest=False)
+
+    def _record_request(self, message: Any, sender: str, honest: bool) -> Optional[bytes]:
+        now = self.time
+        if self.t_start is None:
+            self.t_start = now
+            self.t_end = now + self.phi
+            self.record("period", (self.t_start, self.t_end))
+        if not (self.t_start <= now < self.t_end):
+            # Outside the broadcast period: discarded.
+            return None
+        tag = self.session.fresh_tag()
+        self._records.append(
+            _SBCRecord(
+                tag=tag,
+                message=message,
+                sender=sender,
+                requested_at=now,
+                final=not honest,
+            )
+        )
+        if honest:
+            self.leak(("Sender", tag, ("len", len(encode(message))), sender))
+        else:
+            self.leak(("Sender", tag, message, sender))
+        return tag
+
+    # -- adversarial interface --------------------------------------------------
+
+    def adv_corruption_request(self) -> List[Tuple[bytes, Any, str, int]]:
+        """Pending (flag-0) records of corrupted senders."""
+        return [
+            (r.tag, r.message, r.sender, r.requested_at)
+            for r in self._records
+            if self.session.is_corrupted(r.sender) and not r.final
+        ]
+
+    def adv_allow(self, tag: bytes, message: Any, pid: str) -> bool:
+        """Replace a corrupted sender's non-final message, within the period."""
+        now = self.time
+        if self.t_start is None or not (self.t_start <= now < self.t_end):
+            return False
+        for record in self._records:
+            if record.tag == tag and record.sender == pid and not record.final:
+                if not self.session.is_corrupted(pid):
+                    return False
+                record.message = message
+                record.final = True
+                self.record("allow", (tag, pid))
+                return True
+        return False
+
+    # -- clock --------------------------------------------------------------------
+
+    def on_party_tick(self, party: Party) -> None:
+        """Period finalization, adversary preview, and per-party delivery."""
+        now = self.time
+        if self.t_end is None:
+            return
+        if now not in self._rounds_seen:
+            self._rounds_seen.add(now)
+            if now == self.t_end and not self._finalized:
+                self._finalize()
+            if now == self.t_end + self.delta - self.alpha and not self._adv_informed:
+                self._adv_informed = True
+                batch = [
+                    (record.tag, record.message)
+                    for record in self._records
+                    if record.final
+                ]
+                self.leak(("Broadcast", batch))
+        if now == self.t_end + self.delta and party.pid not in self._delivered_to:
+            self._delivered_to.add(party.pid)
+            messages = [record.message for record in self._records if record.final]
+            self.deliver(party, ("Broadcast", messages))
+
+    def _finalize(self) -> None:
+        self._finalized = True
+        for record in self._records:
+            # Messages of senders still honest at tend are guaranteed out.
+            if not self.session.is_corrupted(record.sender):
+                record.final = True
+        self._records.sort(key=lambda record: sort_key(record.message))
+        self.record("finalized", sum(1 for r in self._records if r.final))

@@ -1,0 +1,171 @@
+"""The voting system functionality ``FΦ,∆,α_VS`` (paper Figure 17).
+
+Szepieniec–Preneel's functionality adapted to the global-clock model and
+adaptive corruption.  It differs from ``FSBC`` only in that the cast
+ballots are not forwarded — the *tally* is.  Fairness is structural: no
+result exists before ``ttally − α``, and only the adversary sees it that
+early.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
+
+from repro.uc.entity import Functionality, Party
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.uc.session import Session
+
+
+def plurality_tally(votes: Sequence[Any]) -> dict:
+    """Default tallying function: vote counts per candidate."""
+    return dict(Counter(votes))
+
+
+@dataclass
+class _CastRecord:
+    tag: bytes
+    vote: Any
+    voter: str
+    cast_at: int
+    final: bool
+
+
+class VotingSystem(Functionality):
+    """``FVS``: casting period Φ, tally delay ∆, simulator advantage α.
+
+    Args:
+        session: Owning session.
+        phi: Casting-period length Φ.
+        delta: Delay ∆ from the period's end to the tally release.
+        alpha: Simulator advantage α, ``0 ≤ α ≤ ∆``.
+        valid_votes: Allowed vote values (validity check).
+        tally_fn: Tallying function over the final vote list.
+        quota: Votes counted per voter (most recent kept), default 1.
+    """
+
+    def __init__(
+        self,
+        session: "Session",
+        phi: int,
+        delta: int,
+        alpha: int,
+        valid_votes: Sequence[Any] = (0, 1),
+        tally_fn: Callable[[Sequence[Any]], Any] = plurality_tally,
+        quota: int = 1,
+        fid: str = "FVS",
+    ) -> None:
+        if phi <= 0 or quota <= 0:
+            raise ValueError("phi and quota must be positive")
+        if not 0 <= alpha <= delta:
+            raise ValueError("need 0 <= alpha <= delta")
+        super().__init__(session, fid)
+        self.phi = phi
+        self.delta = delta
+        self.alpha = alpha
+        self.valid_votes = list(valid_votes)
+        self.tally_fn = tally_fn
+        self.quota = quota
+        self.t_start_cast: Optional[int] = None
+        self.t_end_cast: Optional[int] = None
+        self.t_tally: Optional[int] = None
+        self.result: Optional[Any] = None
+        self._cast: List[_CastRecord] = []
+        self._delivered_to = set()
+
+    # -- election lifecycle --------------------------------------------------
+
+    def init(self) -> None:
+        """``Init`` from the (last) authority: open the casting period."""
+        if self.t_start_cast is not None:
+            return
+        self.t_start_cast = self.time
+        self.t_end_cast = self.t_start_cast + self.phi
+        self.t_tally = self.t_end_cast + self.delta
+        self.record("init", (self.t_start_cast, self.t_end_cast, self.t_tally))
+
+    # -- voting -----------------------------------------------------------------
+
+    def vote(self, party: Party, vote: Any) -> Optional[bytes]:
+        """Honest vote; leaks only (tag, voter), never the vote value."""
+        if party.corrupted:
+            raise ValueError("honest interface used by corrupted party")
+        return self._record_vote(vote, party.pid, honest=True)
+
+    def adv_vote(self, pid: str, vote: Any) -> Optional[bytes]:
+        """Vote on behalf of a corrupted voter."""
+        self.require_corrupted(pid)
+        return self._record_vote(vote, pid, honest=False)
+
+    def _record_vote(self, vote: Any, voter: str, honest: bool) -> Optional[bytes]:
+        now = self.time
+        if self.t_start_cast is None or not (self.t_start_cast <= now < self.t_end_cast):
+            return None
+        if vote not in self.valid_votes:
+            return None
+        tag = self.session.fresh_tag()
+        self._cast.append(
+            _CastRecord(tag=tag, vote=vote, voter=voter, cast_at=now, final=not honest)
+        )
+        if honest:
+            self.leak(("Vote", tag, voter))
+        else:
+            self.leak(("Vote", tag, vote, voter))
+        return tag
+
+    # -- adversarial interface ------------------------------------------------------
+
+    def adv_corruption_request(self) -> List[Any]:
+        """Pending (non-final) votes of corrupted voters."""
+        return [
+            (r.tag, r.vote, r.voter, r.cast_at)
+            for r in self._cast
+            if self.session.is_corrupted(r.voter) and not r.final
+        ]
+
+    def adv_allow(self, tag: bytes, vote: Any, pid: str) -> bool:
+        """Replace a corrupted voter's non-final vote (validity-checked)."""
+        now = self.time
+        if self.t_start_cast is None or not (self.t_start_cast <= now < self.t_end_cast):
+            return False
+        if vote not in self.valid_votes:
+            return False
+        for record in self._cast:
+            if record.tag == tag and record.voter == pid and not record.final:
+                if not self.session.is_corrupted(pid):
+                    return False
+                record.vote = vote
+                record.final = True
+                return True
+        return False
+
+    # -- clock ------------------------------------------------------------------------
+
+    def on_party_tick(self, party: Party) -> None:
+        """Compute the tally at ``ttally − α``; release it at ``ttally``."""
+        if self.t_tally is None:
+            return
+        now = self.time
+        if now == self.t_tally - self.alpha and self.result is None:
+            for record in self._cast:
+                if not self.session.is_corrupted(record.voter):
+                    record.final = True
+            self.result = self.tally_fn(self._final_votes())
+            self.leak(("Result", self.result))
+        if now >= self.t_tally and self.result is not None:
+            if party.pid not in self._delivered_to:
+                self._delivered_to.add(party.pid)
+                self.deliver(party, ("Result", self.result))
+
+    def _final_votes(self) -> List[Any]:
+        per_voter: dict = {}
+        for record in self._cast:
+            if record.final:
+                per_voter.setdefault(record.voter, []).append(record)
+        votes: List[Any] = []
+        for records in per_voter.values():
+            records.sort(key=lambda r: r.cast_at)
+            votes.extend(record.vote for record in records[-self.quota :])
+        return votes

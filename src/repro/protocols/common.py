@@ -1,0 +1,49 @@
+"""Shared helpers for protocol machines: message padding and XOR masking.
+
+The equivocation trick (ΠFBC step 4, ΠSBC step 2(b), both after [Nie02])
+transmits ``y = M ⊕ η`` where ``η`` is a random-oracle response.  That
+requires messages serialized to a *fixed* length matching the oracle's
+range, so protocol instances fix a wire size ``msg_len`` and pad.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.uc.encoding import decode, encode
+
+#: Default fixed wire size for masked messages (bytes).
+DEFAULT_MSG_LEN = 192
+
+
+class MessageTooLong(ValueError):
+    """An input message does not fit the protocol's fixed wire size."""
+
+
+def pad_message(message: Any, size: int) -> bytes:
+    """Canonically encode ``message`` and zero-pad to exactly ``size`` bytes.
+
+    Raises:
+        MessageTooLong: if the encoding exceeds ``size - 4``.
+    """
+    raw = encode(message)
+    if len(raw) > size - 4:
+        raise MessageTooLong(
+            f"encoded message is {len(raw)} bytes; wire size allows {size - 4}"
+        )
+    return len(raw).to_bytes(4, "big") + raw + b"\x00" * (size - 4 - len(raw))
+
+
+def unpad_message(padded: bytes) -> Any:
+    """Inverse of :func:`pad_message`.
+
+    Raises:
+        ValueError: on malformed padding or encoding (garbage after an
+            equivocation mismatch decodes to an error, not a wrong value).
+    """
+    if len(padded) < 4:
+        raise ValueError("padded message too short")
+    length = int.from_bytes(padded[:4], "big")
+    if length > len(padded) - 4:
+        raise ValueError("padding length field out of range")
+    return decode(padded[4 : 4 + length])

@@ -1,0 +1,196 @@
+"""The Dolev–Strong broadcast protocol ΠRBC (realizing ``FRBC``, Fact 1).
+
+Classic authenticated broadcast [DS82]: the sender signs its value and
+sends it to everyone; in relay round ``k`` a party accepts a value carried
+by a chain of ``k`` valid signatures (the sender's first, all signers
+distinct), appends its own signature and forwards.  After ``t+1`` relay
+rounds a party outputs the unique accepted value, or ``⊥`` if it accepted
+zero or several — with ``t+1`` rounds, any value accepted by one honest
+party is accepted by all, which gives *agreement* for any ``t < n``.
+
+Validity is the *relaxed* kind of [GKKZ11]: only a sender that remains
+honest is guaranteed to have its value delivered unmodified; an adaptively
+corrupted sender's signature key is the adversary's, so equivocation
+becomes possible and parties may output ``⊥`` or an adversarial value —
+but never *disagree*.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.functionalities.certification import Certification
+from repro.functionalities.network import SyncNetwork
+from repro.uc.encoding import encode
+from repro.uc.entity import Functionality, Party
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.uc.session import Session
+
+#: Output symbol when agreement on a single value failed.
+BOTTOM = "Bottom"
+
+#: A signature chain: ((pid, signature), ...), sender's signature first.
+Chain = Tuple[Tuple[str, bytes], ...]
+
+
+def _signed_payload(sid: str, sender: str, message: Any) -> bytes:
+    return encode(("DS", sid, sender, message))
+
+
+class DolevStrongParty(Party):
+    """One party of a single-shot Dolev–Strong broadcast instance.
+
+    Args:
+        session: Owning session.
+        pid: This party's identifier.
+        network: The synchronous point-to-point network.
+        certs: Map pid -> ``Fcert`` instance of that signer.
+        sender: The designated sender's pid.
+        t: Corruption bound; the protocol runs ``t + 1`` relay rounds.
+        instance: Disambiguates concurrent instances (part of signed data).
+    """
+
+    def __init__(
+        self,
+        session: "Session",
+        pid: str,
+        network: SyncNetwork,
+        certs: Dict[str, Certification],
+        sender: str,
+        t: int,
+        instance: str = "ds0",
+    ) -> None:
+        super().__init__(session, pid)
+        self.network = network
+        self.certs = certs
+        self.sender = sender
+        self.t = t
+        self.instance = instance
+        self.start_time: Optional[int] = None
+        self._sent = False
+        self.accepted: List[Any] = []
+        self.decided = False
+        self._inbox: List[Tuple[Any, Chain]] = []
+        self._outbox: List[Tuple[Any, Chain]] = []
+
+    # -- environment input ----------------------------------------------------
+
+    def broadcast(self, message: Any) -> None:
+        """Sender input: sign and queue the initial send (this round)."""
+        if self.pid != self.sender:
+            raise ValueError(f"{self.pid} is not the designated sender")
+        if self._sent:
+            return
+        self._sent = True
+        if self.start_time is None:
+            self.start_time = self.time
+        signature = self.certs[self.pid].sign(
+            self.pid, _signed_payload(self.session.sid, self.sender, message)
+        )
+        self.accepted.append(message)
+        self._outbox.append((message, ((self.pid, signature),)))
+
+    def arm(self, start_time: Optional[int] = None) -> None:
+        """Non-sender parties learn the instance's start round.
+
+        In a full deployment the start round is part of the session setup;
+        tests call :meth:`arm` on every party when the sender is given its
+        input (or when the adversary initiates a corrupted-sender run).
+        """
+        if self.start_time is None:
+            self.start_time = self.time if start_time is None else start_time
+
+    # -- network delivery -----------------------------------------------------
+
+    def on_deliver(self, message: Any, source: Functionality) -> None:
+        kind, payload, _sender = message
+        if kind != "P2P":
+            return
+        tag, value, chain = payload
+        if tag != ("DS", self.instance):
+            return
+        self._inbox.append((value, tuple(chain)))
+
+    # -- round work ----------------------------------------------------------------
+
+    def end_of_round(self) -> None:
+        if self.start_time is None or self.decided:
+            return
+        k = self.time - self.start_time  # relative relay round
+        if k >= 1:
+            self._process_inbox(k)
+        self._flush_outbox()
+        if k >= self.t + 1:
+            self._decide()
+
+    def _process_inbox(self, k: int) -> None:
+        inbox, self._inbox = self._inbox, []
+        for value, chain in inbox:
+            if len(self.accepted) >= 2:
+                break  # already certain of disagreement: ⊥ regardless
+            if value in self.accepted:
+                continue
+            if not self._valid_chain(value, chain, minimum=k):
+                continue
+            self.accepted.append(value)
+            if k <= self.t and not self.corrupted:
+                signature = self.certs[self.pid].sign(
+                    self.pid, _signed_payload(self.session.sid, self.sender, value)
+                )
+                self._outbox.append((value, chain + ((self.pid, signature),)))
+
+    def _valid_chain(self, value: Any, chain: Chain, minimum: int) -> bool:
+        if len(chain) < minimum:
+            return False
+        signers = [pid for pid, _ in chain]
+        if signers[0] != self.sender:
+            return False
+        if len(set(signers)) != len(signers):
+            return False
+        payload = _signed_payload(self.session.sid, self.sender, value)
+        return all(
+            pid in self.certs and self.certs[pid].verify(payload, signature)
+            for pid, signature in chain
+        )
+
+    def _flush_outbox(self) -> None:
+        outbox, self._outbox = self._outbox, []
+        for value, chain in outbox:
+            self.network.send_all(self, (("DS", self.instance), value, chain))
+
+    def _decide(self) -> None:
+        self.decided = True
+        if len(self.accepted) == 1:
+            self.output(("Broadcast", self.accepted[0], self.sender))
+        else:
+            self.output(("Broadcast", BOTTOM, self.sender))
+
+
+def make_dolev_strong_instance(
+    session: "Session",
+    pids: Sequence[str],
+    sender: str,
+    t: int,
+    instance: str = "ds0",
+    network: Optional[SyncNetwork] = None,
+    certs: Optional[Dict[str, Certification]] = None,
+) -> Dict[str, DolevStrongParty]:
+    """Wire up a complete Dolev–Strong instance; returns pid -> party."""
+    network = network or SyncNetwork(session, fid=f"Net:{instance}")
+    certs = certs or {
+        pid: Certification(session, signer=pid, fid=f"Fcert:{instance}:{pid}")
+        for pid in pids
+    }
+    return {
+        pid: DolevStrongParty(
+            session,
+            pid,
+            network=network,
+            certs=certs,
+            sender=sender,
+            t=t,
+            instance=instance,
+        )
+        for pid in pids
+    }

@@ -1,0 +1,203 @@
+"""Unfair broadcast realized by Dolev–Strong runs (FRBC made concrete).
+
+``ΠUBC`` (Figure 9) composes per-message ``FRBC`` instances; Fact 1 says
+each instance is realizable by Dolev–Strong over ``Fcert``.  This module
+performs that last substitution: every broadcast request starts a
+Dolev–Strong run among all parties over authenticated point-to-point
+channels, so the resulting :class:`DolevStrongUBCAdapter` is an unfair
+broadcast whose agreement rests on *signatures*, not on an ideal box.
+
+The price is latency: a run with corruption bound ``t`` delivers after
+``t + 1`` relay rounds instead of within the sender's round.  Protocols
+above must budget for it — ΠSBC over this layer needs its release delay
+``Δ`` to exceed the Dolev–Strong latency so that ciphertext broadcasts
+started before ``t_end`` still land before ``τ_rel`` (exercised in
+``tests/test_ds_ubc.py`` and the E1b ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.functionalities.certification import Certification
+from repro.functionalities.network import SyncNetwork
+from repro.uc.encoding import encode
+from repro.uc.entity import Functionality, Party
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.uc.session import Session
+
+
+@dataclass
+class _Run:
+    """One Dolev–Strong broadcast run (all parties' per-run state)."""
+
+    run_id: int
+    sender: str
+    start_time: int
+    t: int
+    # per party: values accepted so far (list to preserve order, max 2)
+    accepted: Dict[str, List[Any]] = field(default_factory=dict)
+    delivered: set = field(default_factory=set)
+    decided: bool = False
+
+
+class DolevStrongUBCAdapter(Functionality):
+    """ΠUBC with each FRBC instance realized by Dolev–Strong.
+
+    Drop-in for :class:`~repro.functionalities.ubc.UnfairBroadcast`
+    (modulo latency).  Unfairness is faithful: the initial signed sends
+    traverse the rushing network, so the adversary sees each message the
+    round it is sent and a corrupted sender's key signs whatever the
+    adversary likes.
+
+    Args:
+        session: Owning session.
+        pids: The fixed party set of the broadcast network.
+        t: Corruption bound (runs last ``t + 1`` relay rounds).
+    """
+
+    def __init__(
+        self,
+        session: "Session",
+        pids: List[str],
+        t: int,
+        fid: str = "DSUBC",
+    ) -> None:
+        super().__init__(session, fid)
+        self.pids = list(pids)
+        self.t = t
+        self.latency = t + 2  # t+1 relays + the decision round
+        self.network = SyncNetwork(session, fid=f"Net:{fid}")
+        self.certs = {
+            pid: Certification(session, signer=pid, fid=f"Fcert:{fid}:{pid}")
+            for pid in pids
+        }
+        self._runs: Dict[int, _Run] = {}
+        self._next_run = 0
+        self._inboxes: Dict[str, List[Tuple[int, Any, tuple]]] = {}
+        self._outboxes: Dict[str, List[Tuple[int, Any, tuple]]] = {}
+        self._ticked: Dict[str, int] = {}
+
+    # -- wiring -------------------------------------------------------------
+
+    def attach(self, party: Party) -> None:
+        """Route the network to this adapter and join the clock chain."""
+        party.route[self.network.fid] = lambda message, source: self._on_net(
+            party, message
+        )
+        if self not in party.clock_recipients:
+            party.clock_recipients.append(self)
+
+    # -- broadcast interface ----------------------------------------------------
+
+    def broadcast(self, party: Party, message: Any) -> None:
+        """Start a Dolev–Strong run with ``party`` as sender."""
+        if party.corrupted:
+            raise ValueError("honest interface used by corrupted party")
+        self._start_run(party.pid, message)
+
+    def adv_broadcast(self, pid: str, message: Any) -> None:
+        """Corrupted sender: the adversary signs and starts a run."""
+        self.require_corrupted(pid)
+        self._start_run(pid, message)
+
+    def _start_run(self, sender: str, message: Any) -> None:
+        run = _Run(
+            run_id=self._next_run, sender=sender, start_time=self.time, t=self.t
+        )
+        self._next_run += 1
+        self._runs[run.run_id] = run
+        signature = self.certs[sender].sign(
+            sender, self._payload(run.run_id, sender, message)
+        )
+        run.accepted.setdefault(sender, []).append(message)
+        self._outboxes.setdefault(sender, []).append(
+            (run.run_id, message, ((sender, signature),))
+        )
+        # The initial sends leave immediately (rushing adversary sees them
+        # via the network's metadata leak; content leaks on delivery to
+        # corrupted parties).
+        self._flush_outbox(sender)
+
+    def _payload(self, run_id: int, sender: str, message: Any) -> bytes:
+        return encode(("DS-UBC", self.fid, run_id, sender, message))
+
+    # -- network delivery ------------------------------------------------------------
+
+    def _on_net(self, party: Party, message: Any) -> None:
+        kind, payload, _wire_sender = message
+        if kind != "P2P":
+            return
+        if not (isinstance(payload, tuple) and len(payload) == 3):
+            return
+        run_id, value, chain = payload
+        if run_id not in self._runs:
+            return
+        self._inboxes.setdefault(party.pid, []).append((run_id, value, tuple(chain)))
+
+    # -- round work --------------------------------------------------------------------
+
+    def on_party_tick(self, party: Party) -> None:
+        now = self.time
+        if self._ticked.get(party.pid) == now:
+            return
+        self._ticked[party.pid] = now
+        self._process_inbox(party.pid, now)
+        self._flush_outbox(party.pid)
+        self._decide_due_runs(party, now)
+
+    def _process_inbox(self, pid: str, now: int) -> None:
+        inbox = self._inboxes.pop(pid, [])
+        for run_id, value, chain in inbox:
+            run = self._runs.get(run_id)
+            if run is None or run.decided:
+                continue
+            k = now - run.start_time
+            accepted = run.accepted.setdefault(pid, [])
+            if len(accepted) >= 2 or value in accepted:
+                continue
+            if not self._valid_chain(run, value, chain, minimum=k):
+                continue
+            accepted.append(value)
+            if k <= run.t and not self.session.is_corrupted(pid):
+                signature = self.certs[pid].sign(
+                    pid, self._payload(run.run_id, run.sender, value)
+                )
+                self._outboxes.setdefault(pid, []).append(
+                    (run_id, value, chain + ((pid, signature),))
+                )
+
+    def _valid_chain(self, run: _Run, value: Any, chain: tuple, minimum: int) -> bool:
+        if len(chain) < max(1, minimum):
+            return False
+        signers = [pid for pid, _sig in chain]
+        if signers[0] != run.sender or len(set(signers)) != len(signers):
+            return False
+        payload = self._payload(run.run_id, run.sender, value)
+        return all(
+            pid in self.certs and self.certs[pid].verify(payload, signature)
+            for pid, signature in chain
+        )
+
+    def _flush_outbox(self, pid: str) -> None:
+        outbox = self._outboxes.pop(pid, [])
+        party = self.session.parties.get(pid)
+        for item in outbox:
+            for recipient in self.pids:
+                if party is not None and not party.corrupted:
+                    self.network.send(party, recipient, item)
+                else:
+                    self.network.adv_send(pid, recipient, item)
+
+    def _decide_due_runs(self, party: Party, now: int) -> None:
+        for run in self._runs.values():
+            if now - run.start_time < run.t + 1:
+                continue
+            if party.pid in run.delivered:
+                continue
+            run.delivered.add(party.pid)
+            accepted = run.accepted.get(party.pid, [])
+            if len(accepted) == 1:
+                self.deliver(party, ("Broadcast", accepted[0], run.sender))

@@ -1,0 +1,103 @@
+"""ΠUBC — unfair broadcast over ``FRBC`` instances (Figure 9, Lemma 1).
+
+Every ``Broadcast`` input spawns a fresh single-shot ``FRBC`` instance
+with the requesting party as its sender (the figure's
+``F^{P,total_P}_RBC``); the sender's ``Advance_Clock`` drives each of its
+instances to deliver.  Agreement is inherited per-message from ``FRBC``;
+unfairness is inherited too — the adversary sees each message at request
+time and may replace it by corrupting the sender before its tick.
+
+Implementation note: the per-party ΠUBC code of Figure 9 holds no state
+beyond counters and its live ``FRBC`` instances, so we fold all parties'
+ΠUBC machines into one :class:`UBCProtocolAdapter` object exposing the
+same interface as the ideal :class:`~repro.functionalities.ubc.
+UnfairBroadcast`.  Protocols above UBC run unchanged against either —
+that interchangeability *is* Lemma 1, exercised by the tests in
+``tests/test_ubc.py``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List
+
+from repro.functionalities.rbc import RelaxedBroadcast
+from repro.uc.entity import Functionality, Party
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.uc.session import Session
+
+
+class UBCProtocolAdapter(Functionality):
+    """ΠUBC: drop-in replacement for the ideal ``FUBC``.
+
+    The adapter dynamically creates one :class:`RelaxedBroadcast` per
+    broadcast request.  Instances leak and deliver exactly as ``FRBC``
+    does, so the adversarial surface (observe-then-corrupt-then-replace)
+    is the real protocol's.
+    """
+
+    def __init__(self, session: "Session", fid: str = "PiUBC") -> None:
+        super().__init__(session, fid)
+        #: total_P counters of Figure 9.
+        self._totals: Dict[str, int] = {}
+        #: live (unhalted) FRBC instances per sender.
+        self._instances: Dict[str, List[RelaxedBroadcast]] = {}
+
+    # -- honest interface ---------------------------------------------------
+
+    def broadcast(self, party: Party, message: Any) -> bytes:
+        """``Broadcast`` input: spawn F^{P,total}_RBC and hand it the message."""
+        if party.corrupted:
+            raise ValueError("honest interface used by corrupted party")
+        total = self._totals.get(party.pid, 0) + 1
+        self._totals[party.pid] = total
+        instance = RelaxedBroadcast(
+            self.session, fid=f"FRBC:{self.fid}:{party.pid}:{total}", via=self
+        )
+        self._instances.setdefault(party.pid, []).append(instance)
+        instance.broadcast(party, message)
+        return instance.fid.encode()
+
+    # -- adversarial interface ------------------------------------------------
+
+    def adv_broadcast(self, pid: str, message: Any) -> None:
+        """Broadcast on behalf of corrupted ``pid`` (immediate delivery)."""
+        self.require_corrupted(pid)
+        total = self._totals.get(pid, 0) + 1
+        self._totals[pid] = total
+        instance = RelaxedBroadcast(
+            self.session, fid=f"FRBC:{self.fid}:{pid}:{total}", via=self
+        )
+        instance.adv_broadcast(pid, message)
+
+    def adv_allow(self, tag: bytes, message: Any) -> None:
+        """Replace a pending message (the sender must now be corrupted).
+
+        ``tag`` is the instance handle returned by :meth:`broadcast`
+        (leaked to the adversary via the instance's broadcast leak).
+        """
+        fid = tag.decode()
+        for instances in self._instances.values():
+            for instance in instances:
+                if instance.fid == fid:
+                    instance.adv_allow(message)
+                    return
+
+    def pending_of(self, pid: str) -> List[Any]:
+        """Messages not yet delivered for sender ``pid`` (test helper)."""
+        return [
+            instance.output
+            for instance in self._instances.get(pid, [])
+            if not instance.halted
+        ]
+
+    # -- clock ------------------------------------------------------------------
+
+    def on_party_tick(self, party: Party) -> None:
+        """The sender's tick drives each of its live instances to deliver."""
+        instances = self._instances.get(party.pid, [])
+        for instance in list(instances):
+            instance.on_party_tick(party)
+        self._instances[party.pid] = [
+            instance for instance in instances if not instance.halted
+        ]

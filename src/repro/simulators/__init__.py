@@ -1,0 +1,25 @@
+"""Executable simulators: the proofs' key mechanics as running code.
+
+UC security proofs construct a *simulator* S that, sitting in the ideal
+world, fabricates the real-world adversary's view from the little the
+ideal functionality leaks.  Two of the paper's simulators have mechanics
+worth executing rather than just reading:
+
+* :mod:`repro.simulators.ubc` — ``S_UBC`` (Appendix A): translates
+  ``FUBC`` leaks into per-message ``FRBC``-instance traffic for the
+  inner adversary, and adversarial ``Allow``/``Broadcast`` moves back
+  into ``FUBC`` commands.  The view-equality test shows a real adversary
+  cannot tell the worlds apart — Lemma 1, executably.
+* :mod:`repro.simulators.sbc` — the equivocation core of ``S_SBC``
+  (Theorem 2's proof): commit to a random mask ``y`` long before knowing
+  the message, then *program the random oracle* at the release round so
+  the ciphertext opens to the real ``M``; and the matching abort — if
+  the adversary somehow queried ``ρ`` first, programming fails, which is
+  exactly the negligible-probability bad event the proof charges to the
+  TLE's semantic security.
+"""
+
+from repro.simulators.ubc import UBCSimulator
+from repro.simulators.sbc import EquivocationAbort, SBCEquivocator
+
+__all__ = ["EquivocationAbort", "SBCEquivocator", "UBCSimulator"]

@@ -1,0 +1,111 @@
+"""The equivocation core of ``S_SBC`` (Theorem 2's proof), executable.
+
+The simulator's bind: in the ideal world it must show the adversary a
+convincing ΠSBC transcript — TLE ciphertexts ``c`` and masks ``y`` for
+every honest sender — *before* it knows the honest messages (``FSBC``
+leaks only lengths during the broadcast period).  Only at
+``t_end + ∆ − α`` does ``FSBC`` hand it the real batch.
+
+The escape is the programmable random oracle: commit early to a random
+``ρ`` and a uniformly random ``y`` (both distributed exactly as in the
+real protocol), and when ``M`` finally arrives, *program* ``FRO(ρ) :=
+M ⊕ y`` so the transcript opens to the right message.  Programming can
+fail only if the adversary already queried ``ρ`` — i.e. it opened the
+time-lock before the release, the negligible event the proof charges to
+the TLE.  :class:`SBCEquivocator` implements exactly this bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.crypto.hashing import DIGEST_SIZE, xor_bytes
+from repro.functionalities.random_oracle import ProgrammingConflict, RandomOracle
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.uc.session import Session
+
+
+class EquivocationAbort(Exception):
+    """The simulation's abort event: the adversary pre-queried ``ρ``.
+
+    In the proof this happens with negligible probability (it requires
+    guessing a uniform λ-bit string or breaking the time lock); the
+    executable version raises so tests can exhibit the abort condition.
+    """
+
+
+@dataclass
+class _Commitment:
+    tag: bytes
+    rho: bytes
+    mask: bytes
+    equivocated: bool = False
+
+
+class SBCEquivocator:
+    """Commit-now, explain-later transcript fabrication.
+
+    Args:
+        session: Session supplying randomness.
+        oracle: The *programmable* ``FRO`` the simulated parties (and the
+            adversary) query; its digest size fixes the mask length.
+    """
+
+    def __init__(self, session: "Session", oracle: RandomOracle) -> None:
+        self.session = session
+        self.oracle = oracle
+        self._commitments: Dict[bytes, _Commitment] = {}
+
+    # -- phase 1: the broadcast period -----------------------------------
+
+    def commit(self, tag: bytes) -> Tuple[bytes, bytes]:
+        """Fabricate the transcript pieces for one honest sender handle.
+
+        Returns ``(rho, y)``: the TLE plaintext stand-in and the mask the
+        simulated sender "broadcasts".  Both are uniform — exactly the
+        real-world distribution — and carry zero information about the
+        eventual message.
+        """
+        rho = self.session.random_bytes(DIGEST_SIZE)
+        mask = self.session.random_bytes(self.oracle.digest_size)
+        self._commitments[tag] = _Commitment(tag=tag, rho=rho, mask=mask)
+        return rho, mask
+
+    # -- phase 2: the release ------------------------------------------------
+
+    def equivocate(self, tag: bytes, message_padded: bytes) -> None:
+        """Learn the real message; program ``FRO(ρ) := M ⊕ y``.
+
+        Raises:
+            EquivocationAbort: if the adversary queried ``ρ`` before the
+                programming — the proof's abort event.
+            KeyError: unknown tag (simulator bookkeeping error).
+        """
+        commitment = self._commitments[tag]
+        if commitment.equivocated:
+            return
+        if len(message_padded) != len(commitment.mask):
+            raise ValueError("padded message must match the mask length")
+        try:
+            self.oracle.program(
+                commitment.rho, xor_bytes(message_padded, commitment.mask)
+            )
+        except ProgrammingConflict as exc:
+            raise EquivocationAbort(
+                "adversary queried rho before the release round"
+            ) from exc
+        commitment.equivocated = True
+
+    # -- what the adversary can check -----------------------------------------
+
+    def open(self, tag: bytes, querier: str = "A") -> bytes:
+        """Open a commitment the way any party would: ``y ⊕ FRO(ρ)``."""
+        commitment = self._commitments[tag]
+        eta = self.oracle.query(commitment.rho, querier=querier)
+        return xor_bytes(commitment.mask, eta)
+
+    def pending(self) -> List[bytes]:
+        """Tags committed but not yet equivocated."""
+        return [c.tag for c in self._commitments.values() if not c.equivocated]

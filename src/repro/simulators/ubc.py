@@ -1,0 +1,132 @@
+"""``S_UBC`` — the unfair-broadcast simulator of Appendix A, executable.
+
+The real world runs ΠUBC: every broadcast spawns an ``FRBC`` instance
+whose leaks (full message + sender) reach the adversary, who may corrupt
+the sender and ``Allow`` a replacement on the *instance*.
+
+In the ideal world the dummy parties talk to ``FUBC``.  The simulator
+sits between ``FUBC`` and the inner (real-world) adversary:
+
+* on an ``FUBC`` leak ``(Broadcast, tag, M, P)`` it fabricates an
+  ``FRBC``-instance leak ``(Broadcast, M, P)`` from a shim source whose
+  ``adv_allow`` translates back into ``FUBC.adv_allow(tag, ·)``;
+* adversarial ``adv_broadcast`` on a shim is forwarded to ``FUBC``.
+
+Because ``FUBC`` is itself unfair (it leaks the message), the simulation
+is *perfect*: the inner adversary's view is byte-identical to its
+real-world view, which is what ``tests/test_simulators.py`` checks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.uc.adversary import Adversary
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.functionalities.ubc import UnfairBroadcast
+
+
+class _RBCInstanceShim:
+    """What the inner adversary believes is an ``FRBC`` instance.
+
+    Mirrors the attack surface of
+    :class:`~repro.functionalities.rbc.RelaxedBroadcast`: ``fid``,
+    ``halted``, ``sender``, ``via``, ``adv_allow`` and (via the parent
+    simulator) ``adv_broadcast``.
+    """
+
+    def __init__(self, simulator: "UBCSimulator", fid: str, tag: Optional[bytes], sender: str) -> None:
+        self._simulator = simulator
+        self.fid = fid
+        self.tag = tag
+        self.sender = sender
+        self.halted = False
+        self.via = self  # ΠUBC attacks inject through `.via`
+
+    def adv_allow(self, message: Any) -> None:
+        """The inner adversary replaces the pending message."""
+        if self.halted or self.tag is None:
+            return
+        self.halted = True
+        self._simulator.functionality.adv_allow(self.tag, message)
+
+    def adv_broadcast(self, pid: str, message: Any) -> None:
+        """The inner adversary broadcasts on behalf of corrupted ``pid``."""
+        self._simulator.functionality.adv_broadcast(pid, message)
+
+
+class UBCSimulator(Adversary):
+    """Run a real-world adversary against the ideal ``FUBC``.
+
+    Install as the session adversary of an *ideal-world* UBC session;
+    the ``inner`` adversary receives exactly the leak stream it would
+    see from ΠUBC's per-message ``FRBC`` instances.
+
+    Args:
+        inner: The real-world adversary to simulate for.
+    """
+
+    def __init__(self, inner: Adversary) -> None:
+        super().__init__()
+        self.inner = inner
+        self.functionality: Optional["UnfairBroadcast"] = None
+        self._totals: Dict[str, int] = {}
+        self._live: Dict[bytes, _RBCInstanceShim] = {}
+
+    def attach(self, session) -> None:
+        super().attach(session)
+        self.inner.attach(session)
+
+    # Corruption and registration flow through to the inner adversary.
+
+    def on_party_registered(self, party) -> None:
+        self.inner.on_party_registered(party)
+
+    def on_corrupted(self, party) -> None:
+        self.inner.on_corrupted(party)
+
+    def on_round_advanced(self, new_time: int) -> None:
+        self.inner.on_round_advanced(new_time)
+
+    def on_party_activated(self, party) -> None:
+        self.inner.on_party_activated(party)
+
+    def _shim_for(self, sender: str, tag: Optional[bytes]) -> _RBCInstanceShim:
+        total = self._totals.get(sender, 0) + 1
+        self._totals[sender] = total
+        fid = f"FRBC:PiUBC:{sender}:{total}"
+        shim = _RBCInstanceShim(self, fid=fid, tag=tag, sender=sender)
+        if tag is not None:
+            self._live[tag] = shim
+        return shim
+
+    def on_leak(self, source, detail) -> None:
+        super().on_leak(source, detail)
+        if self.functionality is None:
+            from repro.functionalities.ubc import UnfairBroadcast
+
+            if isinstance(source, UnfairBroadcast):
+                self.functionality = source
+        if not (isinstance(detail, tuple) and detail):
+            return
+        if detail[0] == "Broadcast" and len(detail) == 4:
+            # FUBC leak of a fresh honest request: fabricate the FRBC
+            # instance's broadcast leak for the inner adversary.
+            _, tag, message, sender = detail
+            shim = self._shim_for(sender, tag)
+            self.inner.on_leak(shim, ("Broadcast", message, sender))
+        elif detail[0] == "Delivered" and len(detail) == 3:
+            # FUBC is delivering: replay as the instance's final leak.
+            _, message, sender = detail
+            shim = self._find_or_make(sender)
+            shim.halted = True
+            self.inner.on_leak(shim, ("Broadcast", message, sender))
+        elif detail[0] == "Deliver":
+            self.inner.on_leak(source, detail)
+
+    def _find_or_make(self, sender: str) -> _RBCInstanceShim:
+        for shim in self._live.values():
+            if shim.sender == sender and not shim.halted:
+                return shim
+        return self._shim_for(sender, None)

@@ -1,0 +1,27 @@
+"""Time-lock encryption: the Astrolabous scheme of [ALZ21] (paper Sec. 2.4).
+
+The scheme hides an SKE key at the end of a hash chain of length
+``q · τdec``: building the chain needs that many hash queries but they are
+*independent* (parallelizable within one round under the resource wrapper),
+while unwinding it is inherently *sequential* — each link's preimage is
+only known after hashing the previous link.  Under the paper's
+resource-restricted model (``q`` oracle queries per party per round) a
+difficulty-``τdec`` ciphertext therefore takes exactly ``τdec`` rounds to
+open, which is the timing property every protocol in the stack builds on.
+"""
+
+from repro.tle.astrolabous import (
+    PuzzleSolver,
+    TLECiphertext,
+    ast_decrypt,
+    ast_encrypt,
+    ast_solve,
+)
+
+__all__ = [
+    "PuzzleSolver",
+    "TLECiphertext",
+    "ast_decrypt",
+    "ast_encrypt",
+    "ast_solve",
+]

@@ -1,0 +1,61 @@
+"""Executable Universal Composability (UC) substrate.
+
+This subpackage provides the execution model the paper assumes (Section 2):
+synchronous rounds driven by a global clock functionality ``Gclock``
+(Katz et al. [KMTZ13]), an environment that schedules activations, and a
+Byzantine adversary that may *adaptively* corrupt parties in the middle of a
+round (the strong non-atomic model of Hirt–Zikas [HZ10]).
+
+The model is deliberately deterministic and seedable so that every test and
+benchmark is reproducible: all randomness flows through
+:class:`~repro.uc.session.Session`'s ``rng``.
+
+Key concepts
+------------
+
+* :class:`~repro.uc.session.Session` — the registry tying together parties,
+  functionalities, the adversary, the clock, metrics and the event trace.
+* :class:`~repro.uc.entity.Party` / :class:`~repro.uc.entity.Functionality`
+  — base classes for protocol machines and ideal functionalities.
+* :class:`~repro.uc.clock.GlobalClock` — ``Gclock`` (paper Figure 2): the
+  round advances only once every *honest* party has ticked.
+* :class:`~repro.uc.adversary.Adversary` — hook-based adversary interface;
+  leaks from functionalities arrive synchronously, so an adversary may
+  corrupt a sender *after* seeing its message but *before* delivery
+  completes, which is exactly the non-atomic corruption the paper's
+  fair-broadcast layer must (and does) survive.
+* :class:`~repro.uc.environment.Environment` — drives rounds: input
+  delivery, activation order, clock ticks.
+"""
+
+from repro.uc.clock import GlobalClock
+from repro.uc.entity import Entity, Functionality, Party
+from repro.uc.adversary import Adversary, PassiveAdversary
+from repro.uc.environment import Environment
+from repro.uc.metrics import Metrics
+from repro.uc.session import Session
+from repro.uc.trace import Event, EventLog
+from repro.uc.errors import (
+    CorruptionError,
+    ResourceExhausted,
+    UCError,
+    UnknownEntity,
+)
+
+__all__ = [
+    "Adversary",
+    "CorruptionError",
+    "Entity",
+    "Environment",
+    "Event",
+    "EventLog",
+    "Functionality",
+    "GlobalClock",
+    "Metrics",
+    "Party",
+    "PassiveAdversary",
+    "ResourceExhausted",
+    "Session",
+    "UCError",
+    "UnknownEntity",
+]

@@ -1,0 +1,103 @@
+"""Adversary interface for UC executions.
+
+The paper's adversary is Byzantine and *adaptive* in the strong non-atomic
+model: it may corrupt parties in the middle of a round, in particular after
+observing a leak from a hybrid functionality (e.g. a sender's message leaked
+by ``FUBC`` before delivery).
+
+Concrete attack strategies used by tests and benchmarks live in
+:mod:`repro.attacks`; this module provides the base interface and the
+do-nothing :class:`PassiveAdversary`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.uc.entity import Functionality, Party
+    from repro.uc.session import Session
+
+
+class Adversary:
+    """Hook-based adversary.
+
+    Subclasses override the ``on_*`` hooks.  All hooks run synchronously at
+    the point the triggering event happens, so a hook can corrupt a party
+    mid-round and immediately act on its behalf via the adversarial
+    interfaces of the functionalities — the non-atomic model.
+    """
+
+    def __init__(self) -> None:
+        self.session: Optional["Session"] = None
+        #: Leaks observed, in order, as (functionality id, detail) pairs.
+        self.observed: List[Any] = []
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, session: "Session") -> None:
+        """Called by the session when this adversary is installed."""
+        self.session = session
+
+    # -- capabilities --------------------------------------------------------
+
+    def corrupt(self, pid: str) -> "Party":
+        """Adaptively corrupt party ``pid``; returns the exposed machine.
+
+        Upon corruption the adversary learns the party's entire internal
+        state (the returned object *is* the party machine) and from then on
+        drives it.
+        """
+        return self.session.corrupt(pid)
+
+    @property
+    def corrupted_parties(self) -> Set[str]:
+        """Identifiers of currently corrupted parties."""
+        return set(self.session.corrupted)
+
+    # -- hooks ---------------------------------------------------------------
+
+    def on_leak(self, source: "Functionality", detail: Any) -> None:
+        """A functionality leaked ``detail``.  Default: record it."""
+        self.observed.append((source.fid, detail))
+
+    def on_corrupted(self, party: "Party") -> None:
+        """A party was just corrupted; its state is now exposed."""
+
+    def on_party_registered(self, party: "Party") -> None:
+        """A party joined the session (static corruptors hook here)."""
+
+    def on_round_advanced(self, new_time: int) -> None:
+        """The global clock advanced."""
+
+    def on_party_activated(self, party: "Party") -> None:
+        """The environment is about to tick ``party`` (scheduling hook)."""
+
+    def on_dec_request(self, functionality: "Functionality", ciphertext, tau: int):
+        """``FTLE`` asks the adversary to explain an unknown ciphertext.
+
+        Return the plaintext the honest decryption should yield, or
+        ``None`` for ⊥ (the default: the adversary refuses to help).
+        """
+        return None
+
+
+class PassiveAdversary(Adversary):
+    """Observes all leaks but never corrupts or injects anything."""
+
+
+class StaticCorruptor(Adversary):
+    """Corrupts a fixed set of parties at the start of the execution.
+
+    The corrupted machines are left idle unless a subclass drives them.
+    This is the static-corruption baseline against which the adaptive
+    attacks in :mod:`repro.attacks` are contrasted.
+    """
+
+    def __init__(self, pids: Optional[List[str]] = None) -> None:
+        super().__init__()
+        self.initial_corruptions = list(pids or [])
+
+    def on_party_registered(self, party: "Party") -> None:
+        if party.pid in self.initial_corruptions:
+            self.corrupt(party.pid)

@@ -1,0 +1,100 @@
+"""The environment Z: drives inputs and the round structure.
+
+In UC, the environment schedules the execution.  :class:`Environment`
+provides the common driving pattern used throughout the paper's figures:
+
+1. deliver this round's inputs to parties (``Broadcast``, ``Enc``,
+   ``Vote``, ... — modelled as callables applied to the party machine);
+2. issue ``Advance_Clock`` to every honest party, in an activation order
+   the environment (hence the adversary) may choose.
+
+The adversary's hooks fire synchronously during both phases, so adaptive
+mid-round corruption is exercised simply by running an adversary whose
+``on_leak`` corrupts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.uc.session import Session
+
+#: An input action: apply the callable to the named party's machine.
+Action = Tuple[str, Callable[[Any], Any]]
+
+
+class Environment:
+    """Round driver for a session.
+
+    Args:
+        session: The session to drive.
+        order: Default activation order for ``Advance_Clock`` (party ids);
+            defaults to registration order.
+    """
+
+    def __init__(self, session: Session, order: Optional[Sequence[str]] = None) -> None:
+        self.session = session
+        self.order = list(order) if order is not None else None
+
+    def _activation_order(self, order: Optional[Sequence[str]]) -> List[str]:
+        if order is not None:
+            return list(order)
+        if self.order is not None:
+            return list(self.order)
+        return list(self.session.parties)
+
+    def run_round(
+        self,
+        actions: Iterable[Action] = (),
+        order: Optional[Sequence[str]] = None,
+    ) -> int:
+        """Run one full round and return the new clock time.
+
+        Args:
+            actions: Input deliveries performed at the start of the round.
+                Actions addressed to corrupted parties are skipped (their
+                inputs are the adversary's business).
+            order: Activation order for this round's ``Advance_Clock``.
+        """
+        for pid, action in actions:
+            party = self.session.party(pid)
+            if party.corrupted:
+                continue
+            action(party)
+        for pid in self._activation_order(order):
+            party = self.session.party(pid)
+            if party.corrupted:
+                continue
+            self.session.adversary.on_party_activated(party)
+            if party.corrupted:
+                # on_party_activated may have corrupted it.
+                continue
+            party.advance_clock()
+        return self.session.clock.time
+
+    def run_rounds(self, count: int, order: Optional[Sequence[str]] = None) -> int:
+        """Run ``count`` empty rounds (clock ticks only)."""
+        for _ in range(count):
+            self.run_round((), order=order)
+        return self.session.clock.time
+
+    def run_until(
+        self,
+        predicate: Callable[[Session], bool],
+        max_rounds: int = 1000,
+        order: Optional[Sequence[str]] = None,
+    ) -> int:
+        """Run empty rounds until ``predicate(session)`` holds.
+
+        Raises:
+            RuntimeError: if the predicate is still false after
+                ``max_rounds`` rounds (a liveness failure in the system
+                under test).
+        """
+        for _ in range(max_rounds):
+            if predicate(self.session):
+                return self.session.clock.time
+            self.run_round((), order=order)
+        if predicate(self.session):
+            return self.session.clock.time
+        raise RuntimeError(f"predicate not satisfied within {max_rounds} rounds")

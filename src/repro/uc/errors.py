@@ -1,0 +1,34 @@
+"""Exception hierarchy for the UC substrate."""
+
+
+class UCError(Exception):
+    """Base class for all errors raised by the UC execution substrate."""
+
+
+class UnknownEntity(UCError):
+    """A party or functionality identifier was not found in the session."""
+
+
+class CorruptionError(UCError):
+    """An operation was attempted that the corruption model forbids.
+
+    Examples: corrupting an already-corrupted party, or the environment
+    driving a corrupted party directly (corrupted parties are driven by the
+    adversary).
+    """
+
+
+class ResourceExhausted(UCError):
+    """A resource-restricted operation exceeded its per-round budget.
+
+    Raised by the :class:`~repro.functionalities.wrapper.QueryWrapper`
+    when an entity attempts more than ``q`` oracle queries in one round.
+    """
+
+
+class ProtocolViolation(UCError):
+    """An entity sent a message that the receiving machine cannot accept.
+
+    This signals a bug in protocol code (or a deliberately malformed
+    adversarial message reaching a code path that must reject it).
+    """

@@ -1,0 +1,128 @@
+"""The session object: registry, randomness, corruption state, accounting.
+
+A :class:`Session` corresponds to one UC execution (one ``sid``): it owns
+the global clock, the set of parties and functionalities, the adversary,
+the deterministic randomness source, the metrics and the event trace.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Dict, Optional, Set
+
+from repro.uc.clock import GlobalClock
+from repro.uc.errors import CorruptionError, UnknownEntity
+from repro.uc.metrics import Metrics
+from repro.uc.trace import EventLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.uc.adversary import Adversary
+    from repro.uc.entity import Functionality, Party
+
+
+class Session:
+    """One UC protocol session.
+
+    Args:
+        sid: Session identifier.
+        seed: Seed for the session RNG — all protocol randomness must come
+            from :attr:`rng` (or RNGs derived from it) so executions are
+            reproducible.
+        adversary: The adversary for this execution; defaults to a
+            :class:`~repro.uc.adversary.PassiveAdversary`.
+    """
+
+    def __init__(
+        self,
+        sid: str = "sid0",
+        seed: int = 0,
+        adversary: Optional["Adversary"] = None,
+    ) -> None:
+        self.sid = sid
+        self.rng = random.Random(seed)
+        self.log = EventLog()
+        self.metrics = Metrics()
+        self.parties: Dict[str, "Party"] = {}
+        self.functionalities: Dict[str, "Functionality"] = {}
+        self.corrupted: Set[str] = set()
+        self.clock = GlobalClock(self)
+        if adversary is None:
+            from repro.uc.adversary import PassiveAdversary
+
+            adversary = PassiveAdversary()
+        self.adversary = adversary
+        adversary.attach(self)
+
+    # -- registry -------------------------------------------------------------
+
+    def register_party(self, party: "Party") -> None:
+        """Register ``party``; identifiers must be unique within the session."""
+        if party.pid in self.parties:
+            raise ValueError(f"duplicate party id {party.pid!r}")
+        self.parties[party.pid] = party
+        self.adversary.on_party_registered(party)
+
+    def register_functionality(self, functionality: "Functionality") -> None:
+        """Register ``functionality``; identifiers must be unique."""
+        if functionality.fid in self.functionalities:
+            raise ValueError(f"duplicate functionality id {functionality.fid!r}")
+        self.functionalities[functionality.fid] = functionality
+
+    def party(self, pid: str) -> "Party":
+        """Look up a party by id."""
+        try:
+            return self.parties[pid]
+        except KeyError:
+            raise UnknownEntity(f"no party {pid!r}") from None
+
+    def functionality(self, fid: str) -> "Functionality":
+        """Look up a functionality by id."""
+        try:
+            return self.functionalities[fid]
+        except KeyError:
+            raise UnknownEntity(f"no functionality {fid!r}") from None
+
+    # -- corruption --------------------------------------------------------------
+
+    def is_corrupted(self, pid: str) -> bool:
+        """Whether party ``pid`` is currently corrupted."""
+        return pid in self.corrupted
+
+    @property
+    def honest_parties(self) -> Dict[str, "Party"]:
+        """View of currently honest parties (registration order preserved)."""
+        return {
+            pid: party
+            for pid, party in self.parties.items()
+            if pid not in self.corrupted
+        }
+
+    def corrupt(self, pid: str) -> "Party":
+        """Corrupt party ``pid`` (adaptive, possibly mid-round).
+
+        Returns the party machine (its internal state is thereby exposed to
+        the adversary).  The clock stops waiting for the party.
+
+        Raises:
+            UnknownEntity: unknown ``pid``.
+            CorruptionError: already corrupted.
+        """
+        party = self.party(pid)
+        if pid in self.corrupted:
+            raise CorruptionError(f"{pid} is already corrupted")
+        self.corrupted.add(pid)
+        self.log.record(self.clock.time, "corrupt", pid)
+        self.metrics.inc("corruptions")
+        self.clock.note_corruption(pid)
+        self.adversary.on_corrupted(party)
+        return party
+
+    # -- randomness helpers ---------------------------------------------------------
+
+    def random_bytes(self, n: int) -> bytes:
+        """``n`` session-deterministic random bytes."""
+        return self.rng.getrandbits(8 * n).to_bytes(n, "big") if n else b""
+
+    def fresh_tag(self) -> bytes:
+        """A unique random tag from {0,1}^λ (λ = 128 bits here)."""
+        return self.random_bytes(16)

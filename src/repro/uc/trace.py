@@ -1,0 +1,86 @@
+"""Structured event trace of a UC execution.
+
+Every session keeps an :class:`EventLog`.  Entities record events
+(``leak``, ``deliver``, ``corrupt``, ``tick`` ...) with the round at which
+they happened.  Tests use the trace to assert *ordering* properties that the
+paper's proofs rely on — e.g. that the simulator advantage ``α`` means the
+adversary observes a broadcast value exactly ``α`` rounds before honest
+parties do, or that a leak of an honest sender's ciphertext precedes any
+adversarial ``Allow``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """One recorded occurrence inside a UC execution.
+
+    Attributes:
+        seq: Global sequence number (total order of the execution).
+        time: Clock round at which the event happened.
+        kind: Event category, e.g. ``"leak"``, ``"deliver"``, ``"corrupt"``.
+        source: Identifier of the entity that produced the event.
+        detail: Free-form payload describing the event.
+    """
+
+    seq: int
+    time: int
+    kind: str
+    source: str
+    detail: Any = None
+
+    def __str__(self) -> str:
+        return f"[{self.seq:05d} t={self.time}] {self.kind:<12} {self.source}: {self.detail}"
+
+
+@dataclass
+class EventLog:
+    """Append-only log of :class:`Event` records for one session."""
+
+    events: List[Event] = field(default_factory=list)
+    _seq: int = 0
+
+    def record(self, time: int, kind: str, source: str, detail: Any = None) -> Event:
+        """Append an event and return it."""
+        event = Event(seq=self._seq, time=time, kind=kind, source=source, detail=detail)
+        self._seq += 1
+        self.events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def filter(
+        self,
+        kind: Optional[str] = None,
+        source: Optional[str] = None,
+        predicate: Optional[Callable[[Event], bool]] = None,
+    ) -> List[Event]:
+        """Return events matching the given criteria, in execution order."""
+        selected = []
+        for event in self.events:
+            if kind is not None and event.kind != kind:
+                continue
+            if source is not None and event.source != source:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            selected.append(event)
+        return selected
+
+    def first(self, kind: str, **kwargs: Any) -> Optional[Event]:
+        """Return the earliest event of the given kind, or ``None``."""
+        matches = self.filter(kind=kind, **kwargs)
+        return matches[0] if matches else None
+
+    def last(self, kind: str, **kwargs: Any) -> Optional[Event]:
+        """Return the latest event of the given kind, or ``None``."""
+        matches = self.filter(kind=kind, **kwargs)
+        return matches[-1] if matches else None

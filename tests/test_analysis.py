@@ -1,0 +1,75 @@
+"""Analysis helpers: table formatting and attack statistics."""
+
+import math
+
+from repro.analysis.stats import bit_bias, proportion, uniformity_pvalue
+from repro.analysis.tables import format_table
+
+
+def test_format_table_alignment():
+    rows = [
+        {"name": "a", "value": 1, "rate": 0.5},
+        {"name": "longer-name", "value": 100, "rate": 1.0},
+    ]
+    table = format_table(rows, title="T")
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    assert "longer-name" in table
+    assert "0.500" in table  # floats to 3 decimals
+    # header and separator line up
+    assert len(lines[1]) == len(lines[2])
+
+
+def test_format_table_column_selection():
+    rows = [{"a": 1, "b": 2}]
+    table = format_table(rows, columns=["b"])
+    assert "b" in table and "a" not in table.splitlines()[0]
+
+
+def test_format_table_empty():
+    assert format_table([], title="empty") == "empty"
+    assert format_table([]) == "(no rows)"
+
+
+def test_format_table_special_cells():
+    rows = [{"flag": True, "other": False, "missing": None}]
+    table = format_table(rows)
+    assert "yes" in table and "no" in table and "-" in table
+
+
+def test_proportion():
+    assert proportion(3, 4) == 0.75
+    assert proportion(0, 0) == 0.0
+
+
+def test_bit_bias():
+    all_ones = [b"\xff" * 4] * 10
+    all_zero = [b"\x00" * 4] * 10
+    assert bit_bias(all_ones, bit=0) == 1.0
+    assert bit_bias(all_zero, bit=0) == 0.0
+    assert bit_bias([], bit=0) == 0.0
+    mixed = [b"\x80\x00", b"\x00\x00"]
+    assert bit_bias(mixed, bit=0) == 0.5
+
+
+def test_bit_bias_bit_indexing():
+    # bit 8 = MSB of byte 1
+    samples = [b"\x00\x80", b"\x00\x80"]
+    assert bit_bias(samples, bit=8) == 1.0
+    assert bit_bias(samples, bit=0) == 0.0
+
+
+def test_uniformity_pvalue_fair_vs_biased():
+    fair = [b"\x80" * 1, b"\x00" * 1] * 50
+    biased = [b"\x00"] * 100
+    assert uniformity_pvalue(fair, bit=0) > 0.9
+    assert uniformity_pvalue(biased, bit=0) < 1e-6
+    assert uniformity_pvalue([], bit=0) == 1.0
+
+
+def test_uniformity_pvalue_monotone_in_sample_size():
+    """The same empirical skew is more damning with more samples."""
+    small = [b"\x00"] * 6 + [b"\x80"] * 2
+    large = [b"\x00"] * 60 + [b"\x80"] * 20
+    assert uniformity_pvalue(large, bit=0) < uniformity_pvalue(small, bit=0)
+    assert not math.isnan(uniformity_pvalue(small, bit=0))

@@ -1,0 +1,103 @@
+"""Direct unit coverage of the attack strategies' selection logic."""
+
+from repro.attacks.adaptive import OutputRequestProbe, UBCReplaceAttack
+from repro.attacks.bias import BiasingContributor
+from repro.attacks.rushing import UBCCopyAttack
+from repro.functionalities.dummy import DummyBroadcastParty
+from repro.functionalities.fbc import FairBroadcast
+from repro.functionalities.ubc import UnfairBroadcast
+from repro.uc.environment import Environment
+from repro.uc.session import Session
+
+from tests.conftest import broadcast_action
+
+
+def _ubc_world(adversary, n=4, seed=1):
+    session = Session(seed=seed, adversary=adversary)
+    ubc = UnfairBroadcast(session)
+    parties = {
+        f"P{i}": DummyBroadcastParty(session, f"P{i}", ubc) for i in range(n)
+    }
+    return session, ubc, parties, Environment(session)
+
+
+def test_copy_attack_victim_filter():
+    attack = UBCCopyAttack(attacker="P3", victim="P1")
+    _s, _u, parties, env = _ubc_world(attack)
+    env.run_round(
+        [("P0", broadcast_action(b"not-the-victim")), ("P1", broadcast_action(b"target"))]
+    )
+    assert attack.copied == [b"target"]
+
+
+def test_copy_attack_ignores_own_messages():
+    attack = UBCCopyAttack(attacker="P3")
+    session, ubc, parties, env = _ubc_world(attack)
+    session.corrupt("P3")
+    ubc.adv_broadcast("P3", b"self-talk")
+    assert attack.copied == []  # never copies itself
+
+
+def test_copy_attack_copies_each_message_once():
+    attack = UBCCopyAttack(attacker="P3")
+    _s, _u, parties, env = _ubc_world(attack)
+    env.run_round([("P0", broadcast_action(b"dup"))])
+    env.run_round([("P1", broadcast_action(b"dup"))])
+    assert attack.copied == [b"dup"]
+
+
+def test_replace_attack_skips_matching_replacement():
+    attack = UBCReplaceAttack(victim="P0", replacement=b"same")
+    _s, _u, parties, env = _ubc_world(attack)
+    env.run_round([("P0", broadcast_action(b"same"))])
+    assert attack.replaced == []  # nothing to gain, nothing corrupted
+    assert "P0" not in attack.corrupted_parties
+
+
+def test_output_probe_collects_all_tags():
+    probe = OutputRequestProbe()
+    session = Session(seed=2, adversary=probe)
+    fbc = FairBroadcast(session, delta=3, alpha=2)
+    parties = {
+        f"P{i}": DummyBroadcastParty(session, f"P{i}", fbc) for i in range(2)
+    }
+    env = Environment(session)
+    env.run_round(
+        [("P0", broadcast_action(b"a")), ("P1", broadcast_action(b"b"))]
+    )
+    env.run_rounds(4)
+    assert probe.reveal_ages == [1, 1]  # Δ − α for both messages
+
+
+def test_biasing_contributor_informed_math():
+    """The informed submission makes XOR(all)'s MSB equal the target."""
+    from repro.crypto.hashing import xor_bytes
+    from repro.functionalities.durs import URS_LEN
+
+    attack = BiasingContributor(attacker="P3", target_bit=1, expected_honest=2)
+    session = Session(seed=3, adversary=attack)
+    ubc = UnfairBroadcast(session)
+    parties = {
+        f"P{i}": DummyBroadcastParty(session, f"P{i}", ubc) for i in range(4)
+    }
+    contributions = []
+    for pid in ("P0", "P1"):
+        value = session.random_bytes(URS_LEN)
+        contributions.append(value)
+        ubc.broadcast(parties[pid], value)
+    assert attack.submitted is not None and attack.informed
+    total = attack.submitted
+    for value in contributions:
+        total = xor_bytes(total, value)
+    assert total[0] >> 7 == 1  # the targeted bit
+
+
+def test_biasing_contributor_blind_without_channel():
+    attack = BiasingContributor(attacker="P0", target_bit=0, phi=2)
+    session = Session(seed=4, adversary=attack)
+    ubc = UnfairBroadcast(session)
+    DummyBroadcastParty(session, "P0", ubc)
+    DummyBroadcastParty(session, "P1", ubc)
+    Environment(session).run_rounds(5)
+    # Never saw a Sender leak: no period start, no submission, no crash.
+    assert attack.submitted is None

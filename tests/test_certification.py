@@ -1,0 +1,78 @@
+"""Fcert: ideal unforgeability while honest, forgery after corruption."""
+
+import pytest
+
+from repro.functionalities.certification import Certification, RealCertification
+from repro.uc.entity import Party
+from repro.uc.errors import CorruptionError
+
+
+def test_sign_verify(session):
+    Party(session, "S")
+    cert = Certification(session, signer="S")
+    sigma = cert.sign("S", b"msg")
+    assert cert.verify(b"msg", sigma)
+
+
+def test_only_signer_may_sign(session):
+    Party(session, "S")
+    cert = Certification(session, signer="S")
+    with pytest.raises(CorruptionError):
+        cert.sign("other", b"msg")
+
+
+def test_unforgeable_while_honest(session):
+    Party(session, "S")
+    cert = Certification(session, signer="S")
+    assert not cert.verify(b"msg", b"guessed-signature")
+    # And the failed pair is pinned: even a later legitimate signature of
+    # the same message uses a different token.
+    sigma = cert.sign("S", b"msg")
+    assert cert.verify(b"msg", sigma)
+    assert not cert.verify(b"msg", b"guessed-signature")
+
+
+def test_adv_register_requires_corruption(session):
+    Party(session, "S")
+    cert = Certification(session, signer="S")
+    with pytest.raises(CorruptionError):
+        cert.adv_register(b"forged", b"sig")
+
+
+def test_forgery_after_corruption(session):
+    Party(session, "S")
+    cert = Certification(session, signer="S")
+    session.corrupt("S")
+    cert.adv_register(b"forged", b"sig")
+    assert cert.verify(b"forged", b"sig")
+
+
+def test_signature_deterministic_per_message(session):
+    Party(session, "S")
+    cert = Certification(session, signer="S")
+    assert cert.sign("S", b"m") == cert.sign("S", b"m")
+    assert cert.sign("S", b"m") != cert.sign("S", b"m2")
+
+
+def test_real_certification_roundtrip(session):
+    cert = RealCertification(session)
+    sig = cert.sign("P0", b"hello")
+    assert cert.verify("P0", b"hello", sig)
+    assert not cert.verify("P0", b"other", sig)
+    assert not cert.verify("P1", b"hello", sig)  # unknown signer
+
+
+def test_real_certification_cross_party(session):
+    cert = RealCertification(session)
+    cert.ensure_key("P1")
+    sig = cert.sign("P0", b"hello")
+    assert not cert.verify("P1", b"hello", sig)
+
+
+def test_metrics_counted(session):
+    Party(session, "S")
+    cert = Certification(session, signer="S")
+    sigma = cert.sign("S", b"m")
+    cert.verify(b"m", sigma)
+    assert session.metrics.get("sig.sign") == 1
+    assert session.metrics.get("sig.verify") == 1

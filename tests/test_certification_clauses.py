@@ -1,0 +1,41 @@
+"""Remaining Fcert decision-procedure branches (Figure 4)."""
+
+from repro.functionalities.certification import Certification
+from repro.uc.entity import Party
+
+
+def test_registered_invalid_pair_stays_invalid(session):
+    """Clause 3: a recorded (M, σ, 0) keeps answering 0 forever."""
+    Party(session, "S")
+    cert = Certification(session, signer="S")
+    assert not cert.verify(b"m", b"bogus")
+    session.corrupt("S")
+    # even after corruption, the pinned verdict stands:
+    assert not cert.verify(b"m", b"bogus")
+
+
+def test_corrupted_signer_unregistered_pair_defaults_reject(session):
+    """Clause 4 with a silent simulator: default verdict is reject."""
+    Party(session, "S")
+    cert = Certification(session, signer="S")
+    session.corrupt("S")
+    assert not cert.verify(b"new-message", b"new-signature")
+
+
+def test_forgery_verdict_can_be_negative(session):
+    """The adversary may also register an explicitly invalid pair."""
+    Party(session, "S")
+    cert = Certification(session, signer="S")
+    session.corrupt("S")
+    cert.adv_register(b"m", b"sig", valid=False)
+    assert not cert.verify(b"m", b"sig")
+
+
+def test_legitimate_signature_survives_forgeries(session):
+    Party(session, "S")
+    cert = Certification(session, signer="S")
+    sigma = cert.sign("S", b"m")
+    session.corrupt("S")
+    cert.adv_register(b"m", b"other-sig", valid=True)
+    assert cert.verify(b"m", sigma)
+    assert cert.verify(b"m", b"other-sig")

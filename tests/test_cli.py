@@ -1,0 +1,61 @@
+"""CLI smoke tests: every subcommand runs and prints sane output."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_sbc_command(capsys):
+    assert main(["sbc", "--n", "3", "--mode", "hybrid", "--messages", "a", "b"]) == 0
+    out = capsys.readouterr().out
+    assert "delivered: b'a'" in out and "delivered: b'b'" in out
+
+
+def test_sbc_command_composed(capsys):
+    assert main(["sbc", "--mode", "composed", "--seed", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "release=8" in out
+
+
+def test_beacon_command(capsys):
+    assert main(["beacon", "--n", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "uniform random string" in out
+    hex_part = out.strip().rsplit(" ", 1)[-1]
+    assert len(hex_part) == 64  # 32 bytes
+
+
+def test_election_command(capsys):
+    assert main(["election", "--voters", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "self-tally" in out and "'yes': 2" in out
+
+
+def test_election_ideal_mode(capsys):
+    assert main(["election", "--voters", "2", "--mode", "ideal"]) == 0
+    assert "self-tally" in capsys.readouterr().out
+
+
+def test_auction_command(capsys):
+    assert main(["auction", "--bids", "10", "99", "55"]) == 0
+    out = capsys.readouterr().out
+    assert "winner: P1 at 99" in out
+
+
+def test_lineage_command(capsys):
+    assert main(["lineage", "--n", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "this-paper" in out and "CGMA85" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_deterministic_given_seed(capsys):
+    main(["beacon", "--seed", "9"])
+    first = capsys.readouterr().out
+    main(["beacon", "--seed", "9"])
+    second = capsys.readouterr().out
+    assert first == second

@@ -1,0 +1,80 @@
+"""Gclock semantics: all-honest advancement, corruption, idempotence."""
+
+import pytest
+
+from repro.uc.entity import Party
+from repro.uc.errors import CorruptionError, UnknownEntity
+from repro.uc.session import Session
+
+
+def _parties(session, n):
+    return [Party(session, f"P{i}") for i in range(n)]
+
+
+def test_clock_starts_at_zero(session):
+    assert session.clock.read() == 0
+
+
+def test_advances_only_when_all_honest_ticked(session):
+    _parties(session, 3)
+    assert not session.clock.tick("P0")
+    assert not session.clock.tick("P1")
+    assert session.clock.read() == 0
+    assert session.clock.tick("P2")
+    assert session.clock.read() == 1
+
+
+def test_duplicate_ticks_ignored(session):
+    _parties(session, 2)
+    session.clock.tick("P0")
+    session.clock.tick("P0")
+    assert session.clock.read() == 0
+    session.clock.tick("P1")
+    assert session.clock.read() == 1
+
+
+def test_unknown_party_rejected(session):
+    with pytest.raises(UnknownEntity):
+        session.clock.tick("ghost")
+
+
+def test_corruption_unblocks_round(session):
+    _parties(session, 3)
+    session.clock.tick("P0")
+    session.clock.tick("P1")
+    session.corrupt("P2")  # the holdout disappears: round advances
+    assert session.clock.read() == 1
+
+
+def test_corrupted_tick_carries_no_weight(session):
+    _parties(session, 2)
+    session.corrupt("P0")
+    assert not session.clock.tick("P0")
+    assert session.clock.read() == 0
+    session.clock.tick("P1")
+    assert session.clock.read() == 1
+
+
+def test_party_advance_clock_idempotent_per_round(session):
+    parties = _parties(session, 2)
+    calls = []
+    parties[0].end_of_round = lambda: calls.append(session.clock.read())
+    parties[0].advance_clock()
+    parties[0].advance_clock()  # same round: ignored
+    assert calls == [0]
+    parties[1].advance_clock()
+    parties[0].advance_clock()
+    assert calls == [0, 1]
+
+
+def test_environment_cannot_drive_corrupted_party(session):
+    parties = _parties(session, 2)
+    session.corrupt("P0")
+    with pytest.raises(CorruptionError):
+        parties[0].advance_clock()
+
+
+def test_rounds_metric(session, env):
+    _parties(session, 2)
+    env.run_rounds(5)
+    assert session.metrics.get("rounds.advanced") == 5

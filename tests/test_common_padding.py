@@ -1,0 +1,67 @@
+"""Fixed-size message framing for the XOR-equivocation wire format."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.protocols.common import (
+    DEFAULT_MSG_LEN,
+    MessageTooLong,
+    pad_message,
+    unpad_message,
+)
+
+
+def test_roundtrip_basic():
+    for value in (b"", b"x", "text", 42, None, (1, b"two", ("three",))):
+        assert unpad_message(pad_message(value, 128)) == value
+
+
+def test_exact_size():
+    assert len(pad_message(b"x", 100)) == 100
+    assert len(pad_message(b"x", DEFAULT_MSG_LEN)) == DEFAULT_MSG_LEN
+
+
+def test_too_long_rejected():
+    with pytest.raises(MessageTooLong):
+        pad_message(b"x" * 125, 128)
+
+
+def test_boundary_fits():
+    payload = b"x" * (128 - 4 - 9)  # bytes encoding: 1 tag + 8 length
+    assert unpad_message(pad_message(payload, 128)) == payload
+
+
+def test_unpad_garbage_raises():
+    with pytest.raises(ValueError):
+        unpad_message(b"\xff" * 64)
+    with pytest.raises(ValueError):
+        unpad_message(b"\x00\x00")
+
+
+def test_unpad_length_field_out_of_range():
+    bad = (1000).to_bytes(4, "big") + b"\x00" * 60
+    with pytest.raises(ValueError):
+        unpad_message(bad)
+
+
+payloads = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**32), max_value=2**32)
+    | st.binary(max_size=24)
+    | st.text(max_size=12),
+    lambda children: st.lists(children, max_size=3).map(tuple),
+    max_leaves=6,
+)
+
+
+@given(payloads)
+def test_roundtrip_property(value):
+    assert unpad_message(pad_message(value, 512)) == value
+
+
+@given(st.binary(max_size=100), st.binary(max_size=100))
+def test_padded_distinct_for_distinct_messages(a, b):
+    if a != b:
+        assert pad_message(a, 256) != pad_message(b, 256)

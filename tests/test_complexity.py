@@ -1,0 +1,43 @@
+"""Cost reports: aggregation sanity over real executions."""
+
+from repro.analysis.complexity import cost_report, per_party_oracle_use
+from repro.core import build_sbc_stack
+
+
+def test_cost_report_composed_run():
+    stack = build_sbc_stack(n=4, mode="composed", seed=71)
+    stack.parties["P0"].broadcast(b"m")
+    stack.run_until_delivery()
+    report = cost_report(stack.session)
+    assert report.rounds >= stack.phi + stack.delta
+    assert report.messages_total > 0
+    assert report.ro_batches > 0
+    assert report.ro_points >= report.ro_batches  # batches carry >= 1 point
+    assert report.corruptions == 0
+    row = report.as_row()
+    assert row["rounds"] == report.rounds
+    assert set(row) == {
+        "rounds", "messages", "p2p", "ro_batches", "ro_points",
+        "sig", "verify", "corruptions",
+    }
+
+
+def test_cost_report_ideal_run_is_cheaper():
+    costs = {}
+    for mode in ("ideal", "composed"):
+        stack = build_sbc_stack(n=4, mode=mode, seed=72)
+        stack.parties["P0"].broadcast(b"m")
+        stack.run_until_delivery()
+        costs[mode] = cost_report(stack.session)
+    assert costs["ideal"].ro_points < costs["composed"].ro_points
+    assert costs["ideal"].messages_total < costs["composed"].messages_total
+
+
+def test_per_party_oracle_use():
+    stack = build_sbc_stack(n=3, mode="composed", seed=73)
+    stack.parties["P0"].broadcast(b"m")
+    stack.run_until_delivery()
+    usage = per_party_oracle_use(stack.session)
+    # every party did puzzle work (receivers solve, senders encrypt):
+    for pid in ("P0", "P1", "P2"):
+        assert usage.get(pid, 0) > 0

@@ -1,0 +1,71 @@
+"""Applications over the fully-composed ΠSBC stack (Corollary 1, end-to-end).
+
+DURS and STVS each run over the complete protocol pyramid:
+ΠDURS/ΠSTVS → ΠSBC → {ΠUBC, ΠTLE → ΠFBC → ΠUBC} → Wq(F*RO)/FRO/Gclock.
+"""
+
+import pytest
+
+from repro.core import build_durs_stack, build_voting_stack
+
+DURS_PARAMS = dict(phi=4, delta=8, alpha=3)
+
+
+def test_durs_composed_agreement():
+    stack = build_durs_stack(n=4, mode="composed", seed=41, **DURS_PARAMS)
+    stack.parties["P0"].urs_request()
+    stack.parties["P2"].urs_request()
+    stack.run_until_urs()
+    stack.run_rounds(2)
+    values = {party.urs for party in stack.parties.values()}
+    assert len(values) == 1 and None not in values
+
+
+def test_durs_composed_matches_hybrid_delivery_round():
+    rounds = {}
+    for mode in ("hybrid", "composed"):
+        stack = build_durs_stack(n=3, mode=mode, seed=42, **DURS_PARAMS)
+        stack.parties["P0"].urs_request()
+        rounds[mode] = stack.run_until_urs()
+    assert rounds["hybrid"] == rounds["composed"]
+
+
+def test_durs_composed_full_substrate_metered():
+    stack = build_durs_stack(n=3, mode="composed", seed=43, **DURS_PARAMS)
+    stack.parties["P0"].urs_request()
+    stack.run_until_urs()
+    metrics = stack.session.metrics
+    assert metrics.get("ro.points") > 0  # puzzles were really solved
+    assert metrics.get("ro.F*RO:fbc:durs") > 0
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_voting_composed_tally(seed):
+    stack = build_voting_stack(
+        voters=3, mode="composed", seed=seed, phi=5, delta=3
+    )
+    for authority in stack.authorities.values():
+        authority.deal()
+    stack.run_rounds(1)
+    for pid, candidate in (("V0", "yes"), ("V1", "no"), ("V2", "yes")):
+        stack.parties[pid].vote(candidate)
+    stack.run_until_result()
+    assert all(
+        result == {"yes": 2, "no": 1} for result in stack.results().values()
+    )
+
+
+def test_voting_composed_ballots_hidden_until_release():
+    stack = build_voting_stack(voters=2, mode="composed", seed=3, phi=5, delta=3)
+    for authority in stack.authorities.values():
+        authority.deal()
+    stack.run_rounds(1)
+    stack.parties["V0"].vote("yes")
+    stack.parties["V1"].vote("no")
+    stack.run_until_result()
+    # The adversary observed the full composed substrate; no ballot group
+    # element (as decimal text) may appear in any leak before the tally.
+    # Cheap proxy: the vote labels never appear.
+    for _fid, detail in stack.session.adversary.observed:
+        text = repr(detail)
+        assert "'yes'" not in text and "'no'" not in text

@@ -1,0 +1,90 @@
+"""Concurrent protocol sessions under one global clock.
+
+Composability in practice: two independent SBC instances (disjoint party
+sets, independent substrates) share a single ``Gclock`` and advance in
+lockstep; neither perturbs the other's outputs or timing.  Likewise, one
+party set can run SBC and an unrelated UBC workload simultaneously.
+"""
+
+from repro.core.stacks import MSG_LEN_SBC
+from repro.functionalities.random_oracle import RandomOracle
+from repro.functionalities.tle import TimeLockEncryption
+from repro.functionalities.ubc import UnfairBroadcast
+from repro.protocols.sbc_protocol import SBCParty, SBCProtocolAdapter
+from repro.uc.environment import Environment
+from repro.uc.session import Session
+
+PHI, DELTA = 5, 3
+
+
+def _sbc_instance(session, tag, pids):
+    ubc = UnfairBroadcast(session, fid=f"FUBC:{tag}")
+    tle = TimeLockEncryption(
+        session, leak=lambda cl: cl + 1, delay=1, fid=f"FTLE:{tag}"
+    )
+    oracle = RandomOracle(session, fid=f"FRO:{tag}", digest_size=MSG_LEN_SBC)
+    adapter = SBCProtocolAdapter(
+        session, ubc=ubc, tle=tle, oracle=oracle,
+        phi=PHI, delta=DELTA, fid=f"PiSBC:{tag}",
+    )
+    return {pid: SBCParty(session, pid, adapter) for pid in pids}
+
+
+def test_two_sbc_sessions_share_one_clock():
+    session = Session(seed=61)
+    group_a = _sbc_instance(session, "A", ["P0", "P1", "P2"])
+    group_b = _sbc_instance(session, "B", ["Q0", "Q1", "Q2"])
+    env = Environment(session)
+
+    group_a["P0"].broadcast(b"alpha-session")
+    group_b["Q1"].broadcast(b"beta-session")
+    env.run_rounds(PHI + DELTA + 1)
+
+    for party in group_a.values():
+        batches = [o[1] for o in party.outputs if o[0] == "Broadcast"]
+        assert batches[-1] == [b"alpha-session"]
+    for party in group_b.values():
+        batches = [o[1] for o in party.outputs if o[0] == "Broadcast"]
+        assert batches[-1] == [b"beta-session"]
+
+
+def test_sessions_started_in_different_rounds():
+    """Each instance's broadcast period is anchored at its own first send."""
+    session = Session(seed=62)
+    group_a = _sbc_instance(session, "A", ["P0", "P1"])
+    group_b = _sbc_instance(session, "B", ["Q0", "Q1"])
+    env = Environment(session)
+
+    group_a["P0"].broadcast(b"early")
+    env.run_rounds(2)
+    group_b["Q0"].broadcast(b"late")
+    env.run_rounds(PHI + DELTA + 1)
+
+    a_out = [o for o in group_a["P1"].outputs if o[0] == "Broadcast"]
+    b_out = [o for o in group_b["Q1"].outputs if o[0] == "Broadcast"]
+    assert a_out and b_out
+    a_round = [e.time for e in session.log.filter(kind="output", source="P1")][0]
+    b_round = [e.time for e in session.log.filter(kind="output", source="Q1")][0]
+    assert a_round == PHI + DELTA
+    assert b_round == 2 + PHI + DELTA
+
+
+def test_sbc_coexists_with_unrelated_ubc_traffic():
+    session = Session(seed=63)
+    group = _sbc_instance(session, "A", ["P0", "P1"])
+    side_channel = UnfairBroadcast(session, fid="FUBC:side")
+    chatter = []
+    for party in group.values():
+        party.route[side_channel.fid] = (
+            lambda message, source: chatter.append(message)
+        )
+        party.clock_recipients.append(side_channel)
+    env = Environment(session)
+
+    group["P0"].broadcast(b"sbc-payload")
+    side_channel.broadcast(group["P1"], b"side-chatter")
+    env.run_rounds(PHI + DELTA + 1)
+
+    batches = [o[1] for o in group["P0"].outputs if o[0] == "Broadcast"]
+    assert batches[-1] == [b"sbc-payload"]
+    assert ("Broadcast", b"side-chatter", "P1") in chatter

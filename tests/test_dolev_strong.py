@@ -1,0 +1,170 @@
+"""ΠRBC = Dolev–Strong (Fact 1): validity, agreement, round counts."""
+
+import pytest
+
+from repro.protocols.dolev_strong import (
+    BOTTOM,
+    DolevStrongParty,
+    make_dolev_strong_instance,
+)
+from repro.uc.adversary import Adversary
+from repro.uc.encoding import encode
+from repro.uc.environment import Environment
+from repro.uc.session import Session
+
+
+def _run(session, parties, sender, message, t, rounds=None):
+    env = Environment(session)
+    for party in parties.values():
+        party.arm(session.clock.time)
+    if message is not None:
+        parties[sender].broadcast(message)
+    env.run_rounds(rounds if rounds is not None else t + 2)
+    return env
+
+
+def _decisions(parties):
+    return {
+        pid: party.outputs[-1][1] if party.outputs else None
+        for pid, party in parties.items()
+    }
+
+
+def test_validity_honest_sender():
+    session = Session(seed=1)
+    parties = make_dolev_strong_instance(session, ["P0", "P1", "P2", "P3"], "P0", t=2)
+    _run(session, parties, "P0", b"value", t=2)
+    assert all(d == b"value" for d in _decisions(parties).values())
+
+
+def test_no_broadcast_outputs_bottom():
+    session = Session(seed=1)
+    parties = make_dolev_strong_instance(session, ["P0", "P1", "P2"], "P0", t=1)
+    _run(session, parties, "P0", None, t=1)
+    assert all(d == BOTTOM for d in _decisions(parties).values())
+
+
+def test_decision_takes_t_plus_one_relay_rounds():
+    session = Session(seed=1)
+    t = 3
+    parties = make_dolev_strong_instance(
+        session, [f"P{i}" for i in range(5)], "P0", t=t
+    )
+    env = Environment(session)
+    for party in parties.values():
+        party.arm(0)
+    parties["P0"].broadcast(b"v")
+    env.run_rounds(t)  # not yet: decision happens at relative round t+1
+    assert all(not p.decided for p in parties.values())
+    env.run_rounds(2)
+    assert all(p.decided for p in parties.values())
+
+
+def test_message_complexity_order_n_squared():
+    for n in (3, 5):
+        session = Session(seed=1)
+        parties = make_dolev_strong_instance(
+            session, [f"P{i}" for i in range(n)], "P0", t=1
+        )
+        _run(session, parties, "P0", b"v", t=1)
+        sent = session.metrics.get("messages.p2p")
+        # initial send (n) + each party relays once (<= n per relay)
+        assert sent <= n * n * 2
+        assert sent >= n  # at least the initial fan-out
+
+
+class EquivocatingSender(Adversary):
+    """Corrupted sender sends value A to half the parties, B to the rest."""
+
+    def __init__(self, network, certs, sender, pids, instance="ds0"):
+        super().__init__()
+        self.network = network
+        self.certs = certs
+        self.sender = sender
+        self.pids = pids
+        self.instance = instance
+
+    def start(self, session):
+        self.corrupt(self.sender)
+        payload_a, payload_b = b"A", b"B"
+        sid = session.sid
+        half = len(self.pids) // 2
+        for value, group in ((payload_a, self.pids[:half]), (payload_b, self.pids[half:])):
+            signature = self.certs[self.sender].sign(
+                self.sender, encode(("DS", sid, self.sender, value))
+            )
+            chain = ((self.sender, signature),)
+            for pid in group:
+                self.network.adv_send(
+                    self.sender, pid, (("DS", self.instance), value, chain)
+                )
+
+
+def test_agreement_under_equivocating_sender():
+    """A corrupted sender equivocates; honest parties agree (on ⊥)."""
+    session = Session(seed=1)
+    pids = [f"P{i}" for i in range(4)]
+    parties = make_dolev_strong_instance(session, pids, "P0", t=1)
+    network = parties["P0"].network
+    certs = parties["P0"].certs
+    adv = EquivocatingSender(network, certs, "P0", pids[1:])
+    adv.attach(session)
+    session.adversary = adv
+    for party in parties.values():
+        party.arm(0)
+    adv.start(session)
+    Environment(session).run_rounds(4)
+    decisions = {
+        pid: party.outputs[-1][1]
+        for pid, party in parties.items()
+        if pid != "P0" and party.outputs
+    }
+    assert len(decisions) == 3
+    assert len(set(decisions.values())) == 1  # agreement
+    assert list(decisions.values())[0] == BOTTOM  # both values accepted -> ⊥
+
+
+def test_forged_chain_rejected():
+    """A chain whose signatures do not verify is ignored."""
+    session = Session(seed=1)
+    pids = ["P0", "P1", "P2"]
+    parties = make_dolev_strong_instance(session, pids, "P0", t=1)
+    network = parties["P0"].network
+    session.corrupt("P2")
+    for party in parties.values():
+        party.arm(0)
+    # P2 injects a value with a bogus sender signature.
+    network.adv_send("P2", "P1", (("DS", "ds0"), b"forged", (("P0", b"junk"),)))
+    Environment(session).run_rounds(3)
+    assert parties["P1"].outputs[-1][1] == BOTTOM  # nothing valid accepted
+
+
+def test_chain_with_duplicate_signers_rejected():
+    session = Session(seed=1)
+    pids = ["P0", "P1", "P2"]
+    parties = make_dolev_strong_instance(session, pids, "P0", t=1)
+    party = parties["P1"]
+    cert = parties["P0"].certs["P0"]
+    # Build a "valid-looking" chain that reuses the sender twice.
+    payload = encode(("DS", session.sid, "P0", b"v"))
+    session.corrupt("P0")
+    sig = cert.sign("P0", payload)
+    chain = (("P0", sig), ("P0", sig))
+    assert not party._valid_chain(b"v", chain, minimum=2)
+
+
+def test_wrong_sender_first_rejected():
+    session = Session(seed=1)
+    pids = ["P0", "P1", "P2"]
+    parties = make_dolev_strong_instance(session, pids, "P0", t=1)
+    p1 = parties["P1"]
+    payload = encode(("DS", session.sid, "P0", b"v"))
+    sig = parties["P1"].certs["P1"].sign("P1", payload)
+    assert not p1._valid_chain(b"v", (("P1", sig),), minimum=1)
+
+
+def test_non_sender_cannot_broadcast():
+    session = Session(seed=1)
+    parties = make_dolev_strong_instance(session, ["P0", "P1"], "P0", t=0)
+    with pytest.raises(ValueError):
+        parties["P1"].broadcast(b"x")

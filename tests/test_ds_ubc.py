@@ -1,0 +1,123 @@
+"""UBC over real Dolev–Strong runs: signatures down to the network layer."""
+
+import pytest
+
+from repro.core.stacks import MSG_LEN_SBC
+from repro.functionalities.random_oracle import RandomOracle
+from repro.functionalities.tle import TimeLockEncryption
+from repro.protocols.ds_ubc import DolevStrongUBCAdapter
+from repro.protocols.sbc_protocol import SBCParty, SBCProtocolAdapter
+from repro.uc.entity import Party
+from repro.uc.environment import Environment
+from repro.uc.session import Session
+
+
+class Collector(Party):
+    def __init__(self, session, pid, ubc):
+        super().__init__(session, pid)
+        self.received = []
+        self.route[ubc.fid] = lambda message, source: self.received.append(message)
+        ubc.attach(self)
+
+    def on_deliver(self, message, source):
+        handler = self.route.get(source.fid)
+        if handler:
+            handler(message, source)
+
+
+def _world(n=4, t=1, seed=1):
+    session = Session(seed=seed)
+    pids = [f"P{i}" for i in range(n)]
+    ubc = DolevStrongUBCAdapter(session, pids=pids, t=t)
+    parties = {pid: Collector(session, pid, ubc) for pid in pids}
+    return session, ubc, parties, Environment(session)
+
+
+def test_delivery_after_ds_latency():
+    session, ubc, parties, env = _world(t=2)
+    ubc.broadcast(parties["P0"], b"signed-message")
+    env.run_rounds(2)
+    assert parties["P1"].received == []  # still relaying
+    env.run_rounds(2)
+    for party in parties.values():
+        assert party.received == [("Broadcast", b"signed-message", "P0")]
+
+
+def test_multiple_concurrent_runs():
+    session, ubc, parties, env = _world(t=1)
+    ubc.broadcast(parties["P0"], b"a")
+    ubc.broadcast(parties["P1"], b"b")
+    env.run_rounds(1)
+    ubc.broadcast(parties["P2"], b"c")
+    env.run_rounds(4)
+    for party in parties.values():
+        messages = sorted(m for _, m, _ in party.received)
+        assert messages == [b"a", b"b", b"c"]
+
+
+def test_signatures_actually_used():
+    session, ubc, parties, env = _world(t=1)
+    ubc.broadcast(parties["P0"], b"m")
+    env.run_rounds(3)
+    assert session.metrics.get("sig.sign") >= 4  # sender + relayers
+    assert session.metrics.get("sig.verify") > 0
+
+
+def test_corrupted_sender_equivocation_yields_no_delivery():
+    """Two signed values circulate; honest parties accept both → drop."""
+    session, ubc, parties, env = _world(n=4, t=1)
+    session.corrupt("P0")
+    # The adversary starts a run, then injects a second signed value into
+    # the same run by signing with the corrupted key.
+    ubc.adv_broadcast("P0", b"value-A")
+    run_id = 0
+    other = ubc._payload(run_id, "P0", b"value-B")
+    signature = ubc.certs["P0"].sign("P0", other)
+    for recipient in ("P1", "P2"):
+        ubc.network.adv_send(
+            "P0", recipient, (run_id, b"value-B", (("P0", signature),))
+        )
+    env.run_rounds(4)
+    # P1 and P2 accepted both values -> no delivery for this run; P3 saw
+    # only value-A relayed with >= round-count signatures... agreement
+    # demands all honest parties output the same thing:
+    views = {pid: tuple(parties[pid].received) for pid in ("P1", "P2", "P3")}
+    assert len(set(views.values())) == 1
+
+
+def test_sbc_over_ds_ubc_end_to_end():
+    """The deepest composition: ΠSBC with its UBC realized by signatures.
+
+    Requires Δ > Dolev–Strong latency so ciphertext broadcasts started
+    before t_end still land before τ_rel.
+    """
+    session = Session(seed=5)
+    pids = [f"P{i}" for i in range(3)]
+    t = 1
+    ubc = DolevStrongUBCAdapter(session, pids=pids, t=t, fid="DSUBC:sbc")
+    tle = TimeLockEncryption(session, leak=lambda cl: cl + 1, delay=1, fid="FTLE")
+    oracle = RandomOracle(session, fid="FRO:sbc", digest_size=MSG_LEN_SBC)
+    phi, delta = 6, 3 + t + 2  # Δ budgets for the DS latency
+    sbc = SBCProtocolAdapter(
+        session, ubc=ubc, tle=tle, oracle=oracle, phi=phi, delta=delta
+    )
+    parties = {pid: SBCParty(session, pid, sbc) for pid in pids}
+    # SBCParty routes the UBC layer to the SBC adapter; the DS adapter
+    # additionally needs its network routed per party:
+    for party in parties.values():
+        ubc.attach(party)
+    env = Environment(session)
+
+    parties["P0"].broadcast(b"deep-stack-message")
+    env.run_rounds(1)
+    parties["P1"].broadcast(b"second-sender")
+    # Wake_Up itself takes t+2 rounds, so the whole session shifts:
+    env.run_rounds(phi + delta + t + 4)
+    batches = {
+        pid: [o[1] for o in party.outputs if o[0] == "Broadcast"]
+        for pid, party in parties.items()
+    }
+    for pid, batch_list in batches.items():
+        assert batch_list, f"{pid} must terminate"
+        assert batch_list[-1] == [b"deep-stack-message", b"second-sender"]
+    assert session.metrics.get("sig.sign") > 0  # broadcasts really signed

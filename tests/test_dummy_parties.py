@@ -1,0 +1,69 @@
+"""Dummy parties: routing discipline and input forwarding."""
+
+from repro.functionalities.dummy import (
+    DummyBroadcastParty,
+    DummyTLEParty,
+    DummyURSParty,
+    DummyVoterParty,
+)
+from repro.functionalities.durs import DelayedURS
+from repro.functionalities.tle import TimeLockEncryption
+from repro.functionalities.ubc import UnfairBroadcast
+from repro.functionalities.voting import VotingSystem
+from repro.uc.entity import Functionality
+
+
+def test_own_functionality_deliveries_go_to_z(session, env):
+    ubc = UnfairBroadcast(session)
+    parties = [DummyBroadcastParty(session, f"P{i}", ubc) for i in range(2)]
+    parties[0].broadcast(b"m")
+    env.run_rounds(1)
+    assert parties[1].outputs == [("Broadcast", b"m", "P0")]
+
+
+def test_foreign_deliveries_are_routed_not_output(session):
+    ubc = UnfairBroadcast(session)
+    other = Functionality(session, "Other")
+    party = DummyBroadcastParty(session, "P0", ubc)
+    captured = []
+    party.route["Other"] = lambda message, source: captured.append(message)
+    other.deliver(party, ("Whatever", 1))
+    assert party.outputs == []
+    assert captured == [("Whatever", 1)]
+
+
+def test_unrouted_foreign_deliveries_dropped(session):
+    ubc = UnfairBroadcast(session)
+    other = Functionality(session, "Unknown")
+    party = DummyBroadcastParty(session, "P0", ubc)
+    other.deliver(party, ("Noise",))
+    assert party.outputs == []
+
+
+def test_tle_dummy_outputs_responses(session, env):
+    tle = TimeLockEncryption(session, delay=0)
+    party = DummyTLEParty(session, "P0", tle)
+    assert party.enc(b"m", 2) == "Encrypting"
+    triples = party.retrieve()
+    assert party.outputs[-1] == ("Encrypted", triples)
+    env.run_rounds(2)
+    (_m, c, _t) = triples[0]
+    result = party.dec(c, 2)
+    assert result == b"m"
+    assert party.outputs[-1] == ("Dec", c, 2, b"m")
+
+
+def test_urs_dummy_waiting_flag(session):
+    durs = DelayedURS(session, delta=2, alpha=0)
+    party = DummyURSParty(session, "P0", durs)
+    assert party.waiting is False
+    party.urs_request()
+    assert party.waiting is True
+
+
+def test_voter_dummy_forwards(session, env):
+    vs = VotingSystem(session, phi=2, delta=1, alpha=0, valid_votes=("a",))
+    vs.init()
+    voter = DummyVoterParty(session, "V0", vs)
+    assert voter.vote("a") is not None
+    assert voter.vote("invalid") is None

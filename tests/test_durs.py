@@ -1,0 +1,125 @@
+"""DURS (Figure 15 / Figure 16, Theorem 3) and randomness bias (E10)."""
+
+import pytest
+
+from repro.analysis.stats import bit_bias
+from repro.attacks.bias import BiasingContributor
+from repro.baselines.naive_beacon import build_naive_beacon
+from repro.core import build_durs_stack
+from repro.functionalities.durs import URS_LEN, DelayedURS
+from repro.functionalities.dummy import DummyURSParty
+from repro.uc.environment import Environment
+from repro.uc.session import Session
+
+
+@pytest.mark.parametrize("mode", ("ideal", "hybrid"))
+def test_all_requesters_agree(mode):
+    stack = build_durs_stack(n=4, mode=mode, seed=20)
+    stack.parties["P0"].urs_request()
+    stack.parties["P3"].urs_request()
+    stack.run_until_urs()
+    values = {v for v in stack.urs_values().values() if v is not None}
+    assert len(values) == 1
+    assert len(next(iter(values))) == URS_LEN
+
+
+def test_hybrid_all_parties_eventually_agree():
+    """Even parties that never requested contribute and converge."""
+    stack = build_durs_stack(n=4, mode="hybrid", seed=21)
+    stack.parties["P1"].urs_request()
+    stack.run_until_urs()
+    stack.run_rounds(2)
+    values = {party.urs for party in stack.parties.values()}
+    assert len(values) == 1 and None not in values
+
+
+def test_ideal_delivery_timing():
+    session = Session(seed=1)
+    durs = DelayedURS(session, delta=4, alpha=1)
+    parties = {f"P{i}": DummyURSParty(session, f"P{i}", durs) for i in range(2)}
+    env = Environment(session)
+    parties["P0"].urs_request()
+    env.run_rounds(4)
+    assert parties["P0"].outputs == []
+    env.run_rounds(1)
+    assert parties["P0"].outputs and parties["P0"].outputs[0][0] == "URS"
+
+
+def test_ideal_late_request_served_immediately():
+    session = Session(seed=1)
+    durs = DelayedURS(session, delta=2, alpha=0)
+    parties = {f"P{i}": DummyURSParty(session, f"P{i}", durs) for i in range(2)}
+    env = Environment(session)
+    parties["P0"].urs_request()
+    env.run_rounds(5)
+    value = parties["P1"].urs_request()
+    assert value is not None
+    assert parties["P1"].outputs[-1] == ("URS", value)
+
+
+def test_ideal_adversary_advantage_alpha():
+    session = Session(seed=1)
+    durs = DelayedURS(session, delta=4, alpha=2)
+    DummyURSParty(session, "P0", durs).urs_request()
+    env = Environment(session)
+    env.run_rounds(1)
+    assert durs.adv_request() is None  # too early
+    env.run_rounds(1)
+    assert durs.adv_request() is not None  # Δ − α reached
+
+
+def test_ideal_invalid_parameters():
+    session = Session(seed=1)
+    with pytest.raises(ValueError):
+        DelayedURS(session, delta=1, alpha=2)
+
+
+def test_hybrid_parameter_validation():
+    with pytest.raises(ValueError):
+        build_durs_stack(mode="hybrid", phi=4, delta=4)  # needs delta > phi
+
+
+def test_urs_request_after_delivery_responds_immediately():
+    stack = build_durs_stack(n=3, mode="hybrid", seed=22)
+    stack.parties["P0"].urs_request()
+    stack.run_until_urs()
+    stack.run_rounds(2)
+    late = stack.parties["P2"]
+    value = late.urs_request()
+    assert value == stack.parties["P0"].urs
+
+
+# -- bias: naive beacon falls, DURS stands ------------------------------------
+
+
+def _naive_run(seed: int) -> bytes:
+    attack = BiasingContributor(attacker="P3", target_bit=0, expected_honest=3)
+    session = Session(seed=seed, adversary=attack)
+    parties = build_naive_beacon(session, [f"P{i}" for i in range(4)], close_round=2)
+    env = Environment(session)
+    env.run_round([(pid, lambda p: p.contribute()) for pid in parties])
+    env.run_rounds(3)
+    urs = parties["P0"].urs
+    assert urs is not None
+    return urs
+
+
+def test_naive_beacon_biased_every_time():
+    outputs = [_naive_run(seed) for seed in range(8)]
+    assert bit_bias(outputs, bit=0) == 0.0  # MSB forced to 0 in all runs
+
+
+def _durs_run(seed: int) -> bytes:
+    attack = BiasingContributor(attacker="P3", target_bit=0, phi=3)
+    stack = build_durs_stack(n=4, mode="hybrid", seed=seed, adversary=attack)
+    stack.parties["P0"].urs_request()
+    stack.run_until_urs()
+    return stack.urs_values()["P0"]
+
+
+def test_durs_resists_bias():
+    """Blind submission leaves the target bit ~uniform across seeds."""
+    outputs = [_durs_run(seed) for seed in range(16)]
+    assert all(o is not None for o in outputs)
+    rate = bit_bias(outputs, bit=0)
+    assert 0.2 <= rate <= 0.8  # statistically fair over 16 seeds

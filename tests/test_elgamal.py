@@ -1,0 +1,66 @@
+"""ElGamal: round-trips, homomorphism, exponential variant."""
+
+import pytest
+
+from repro.crypto.elgamal import (
+    elgamal_decrypt,
+    elgamal_decrypt_exponent,
+    elgamal_encrypt,
+    elgamal_encrypt_exponent,
+    elgamal_keygen,
+    elgamal_multiply,
+)
+from repro.crypto.groups import TEST_GROUP
+
+
+def test_roundtrip(rng):
+    sk, pk = elgamal_keygen(rng)
+    message = TEST_GROUP.random_element(rng)
+    ct = elgamal_encrypt(TEST_GROUP, pk, message, rng)
+    assert elgamal_decrypt(TEST_GROUP, sk, ct) == message
+
+
+def test_wrong_key_garbles(rng):
+    sk1, pk1 = elgamal_keygen(rng)
+    sk2, _pk2 = elgamal_keygen(rng)
+    message = TEST_GROUP.random_element(rng)
+    ct = elgamal_encrypt(TEST_GROUP, pk1, message, rng)
+    assert elgamal_decrypt(TEST_GROUP, sk2, ct) != message
+
+
+def test_non_member_message_rejected(rng):
+    _sk, pk = elgamal_keygen(rng)
+    with pytest.raises(ValueError):
+        elgamal_encrypt(TEST_GROUP, pk, TEST_GROUP.p - 1, rng)
+
+
+def test_homomorphism(rng):
+    sk, pk = elgamal_keygen(rng)
+    m1 = TEST_GROUP.random_element(rng)
+    m2 = TEST_GROUP.random_element(rng)
+    c1 = elgamal_encrypt(TEST_GROUP, pk, m1, rng)
+    c2 = elgamal_encrypt(TEST_GROUP, pk, m2, rng)
+    combined = elgamal_multiply(TEST_GROUP, c1, c2)
+    assert elgamal_decrypt(TEST_GROUP, sk, combined) == TEST_GROUP.mul(m1, m2)
+
+
+def test_exponential_variant(rng):
+    sk, pk = elgamal_keygen(rng)
+    ct = elgamal_encrypt_exponent(TEST_GROUP, pk, 42, rng)
+    assert elgamal_decrypt_exponent(TEST_GROUP, sk, ct, bound=100) == 42
+
+
+def test_exponential_additive(rng):
+    sk, pk = elgamal_keygen(rng)
+    c1 = elgamal_encrypt_exponent(TEST_GROUP, pk, 10, rng)
+    c2 = elgamal_encrypt_exponent(TEST_GROUP, pk, 32, rng)
+    combined = elgamal_multiply(TEST_GROUP, c1, c2)
+    assert elgamal_decrypt_exponent(TEST_GROUP, sk, combined, bound=100) == 42
+
+
+def test_encryption_randomized(rng):
+    _sk, pk = elgamal_keygen(rng)
+    m = TEST_GROUP.random_element(rng)
+    assert elgamal_encrypt(TEST_GROUP, pk, m, rng) != elgamal_encrypt(
+        TEST_GROUP, pk, m, rng
+    )

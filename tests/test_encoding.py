@@ -1,0 +1,105 @@
+"""Canonical encoding: injectivity, round-trips, sort keys."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tle.astrolabous import TLECiphertext
+from repro.uc.encoding import DecodeError, decode, encode, sort_key
+
+
+def test_primitives_roundtrip():
+    for value in (None, True, False, 0, -1, 2**100, b"", b"abc", "", "héllo", ()):
+        assert decode(encode(value)) == value
+
+
+def test_tuple_roundtrip():
+    value = (1, (b"x", "y"), None, (True, (-5,)))
+    assert decode(encode(value)) == value
+
+
+def test_list_decodes_as_tuple():
+    assert decode(encode([1, 2, 3])) == (1, 2, 3)
+
+
+def test_bool_distinct_from_int():
+    assert encode(True) != encode(1)
+    assert encode(False) != encode(0)
+
+
+def test_bytes_distinct_from_str():
+    assert encode(b"a") != encode("a")
+
+
+def test_distinct_values_distinct_encodings():
+    values = [None, True, False, 0, 1, -1, b"", b"\x00", "", "\x00", (), (0,), ((),)]
+    encodings = [encode(v) for v in values]
+    assert len(set(encodings)) == len(encodings)
+
+
+def test_concatenation_ambiguity_resolved():
+    assert encode((b"ab", b"c")) != encode((b"a", b"bc"))
+
+
+def test_unsupported_type_raises():
+    with pytest.raises(TypeError):
+        encode(object())
+    with pytest.raises(TypeError):
+        encode(1.5)
+
+
+def test_trailing_bytes_rejected():
+    with pytest.raises(DecodeError):
+        decode(encode(1) + b"x")
+
+
+def test_truncated_rejected():
+    raw = encode((1, 2, 3))
+    with pytest.raises(DecodeError):
+        decode(raw[:-1])
+
+
+def test_empty_rejected():
+    with pytest.raises(DecodeError):
+        decode(b"")
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(DecodeError):
+        decode(b"Zjunk")
+
+
+def test_registered_dataclass_roundtrip():
+    ct = TLECiphertext(
+        difficulty=1, rate=2, body=b"body", chain=tuple(bytes(32) for _ in range(3))
+    )
+    assert decode(encode(ct)) == ct
+
+
+def test_sort_key_orders_consistently():
+    values = [b"b", b"a", b"c"]
+    assert sorted(values, key=sort_key) == [b"a", b"b", b"c"]
+
+
+# -- property tests ---------------------------------------------------------
+
+payloads = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**64), max_value=2**64)
+    | st.binary(max_size=64)
+    | st.text(max_size=32),
+    lambda children: st.lists(children, max_size=4).map(tuple),
+    max_leaves=12,
+)
+
+
+@given(payloads)
+def test_roundtrip_property(value):
+    assert decode(encode(value)) == value
+
+
+@given(payloads, payloads)
+def test_injectivity_property(a, b):
+    if a != b:
+        assert encode(a) != encode(b)

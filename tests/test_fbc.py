@@ -1,0 +1,213 @@
+"""Fair broadcast (Figure 10 / Figure 11, Lemma 2).
+
+Covers: ideal F∆,α_FBC timing and locking; ΠFBC delivery at exactly Δ=2;
+the advantage α=2 (adversary can read at the send round via
+Output_Request on the ideal object; computationally via its own budget on
+the real one); hybrid/ideal output equality.
+"""
+
+import pytest
+
+from repro.attacks.adaptive import FBCReplaceAttack, OutputRequestProbe
+from repro.core.stacks import build_fbc_fixture
+from repro.functionalities.dummy import DummyBroadcastParty
+from repro.functionalities.fbc import FairBroadcast
+from repro.uc.environment import Environment
+from repro.uc.session import Session
+
+from tests.conftest import broadcast_action
+
+
+def _ideal_world(delta=2, alpha=2, n=3, seed=1, adversary=None):
+    session = Session(seed=seed, adversary=adversary)
+    fbc = FairBroadcast(session, delta=delta, alpha=alpha)
+    parties = {
+        f"P{i}": DummyBroadcastParty(session, f"P{i}", fbc) for i in range(n)
+    }
+    return session, fbc, parties, Environment(session)
+
+
+def _real_world(n=3, seed=1, q=4, adversary=None):
+    session = Session(seed=seed, adversary=adversary)
+    fixture = build_fbc_fixture(session, q=q)
+    parties = {}
+    for i in range(n):
+        party = DummyBroadcastParty(session, f"P{i}", fixture.fbc)
+        fixture.fbc.attach(party)
+        parties[f"P{i}"] = party
+    return session, fixture, parties, Environment(session)
+
+
+# -- ideal functionality ------------------------------------------------------
+
+
+def test_ideal_delivery_after_exactly_delta_rounds():
+    session, fbc, parties, env = _ideal_world(delta=3, alpha=1)
+    env.run_round([("P0", broadcast_action(b"m"))])
+    env.run_rounds(1)
+    assert parties["P1"].outputs == []
+    env.run_rounds(2)
+    assert parties["P1"].outputs == [("Broadcast", b"m")]
+
+
+def test_ideal_leak_hides_message():
+    session, fbc, parties, env = _ideal_world()
+    fbc.broadcast(parties["P0"], b"secret")
+    for _fid, detail in session.adversary.observed:
+        assert b"secret" not in repr(detail).encode()
+
+
+def test_ideal_batch_sorted_lexicographically():
+    session, fbc, parties, env = _ideal_world()
+    env.run_round(
+        [("P0", broadcast_action(b"zebra")), ("P1", broadcast_action(b"apple"))]
+    )
+    env.run_rounds(2)
+    assert [m for _, m in parties["P2"].outputs] == [b"apple", b"zebra"]
+
+
+def test_ideal_invalid_parameters():
+    session = Session(seed=0)
+    with pytest.raises(ValueError):
+        FairBroadcast(session, delta=1, alpha=2)
+
+
+def test_output_request_reveals_at_delta_minus_alpha():
+    """The simulator advantage is exactly α: reveal age = Δ − α."""
+    probe = OutputRequestProbe()
+    session, fbc, parties, env = _ideal_world(delta=3, alpha=2, adversary=probe)
+    env.run_round([("P0", broadcast_action(b"m"))])
+    env.run_rounds(4)
+    assert probe.reveal_ages == [3 - 2]
+
+
+def test_replacement_before_lock_succeeds():
+    attack = FBCReplaceAttack(victim="P0", replacement=b"evil", corrupt_after=0)
+    session, fbc, parties, env = _ideal_world(delta=3, alpha=1, adversary=attack)
+    env.run_round([("P0", broadcast_action(b"good"))])
+    env.run_rounds(4)
+    assert attack.successes == attack.attempts == 1
+    assert [m for _, m in parties["P1"].outputs] == [b"evil"]
+
+
+def test_replacement_after_lock_fails():
+    """Fairness: once Output_Request revealed the value, it is locked."""
+    session, fbc, parties, env = _ideal_world(delta=2, alpha=0)
+    tag = fbc.broadcast(parties["P0"], b"good")
+    assert fbc.adv_output_request(tag) is None  # too early: not Δ − α yet
+    env.run_rounds(2)
+    revealed = fbc.adv_output_request(tag)
+    assert revealed is not None  # reveal = lock
+    session.corrupt("P0")
+    assert not fbc.adv_allow(tag, b"evil", "P0")
+    env.run_rounds(1)  # delivery happens during the ticks of round Δ
+    for party in parties.values():
+        if not party.corrupted:
+            assert [m for _, m in party.outputs] == [b"good"]
+
+
+def test_honest_sender_message_untouchable():
+    session, fbc, parties, env = _ideal_world()
+    tag = fbc.broadcast(parties["P0"], b"good")
+    assert not fbc.adv_allow(tag, b"evil", "P0")  # sender honest
+
+
+# -- ΠFBC (real protocol) --------------------------------------------------------
+
+
+def test_real_delivery_after_exactly_two_rounds():
+    session, fixture, parties, env = _real_world()
+    env.run_round([("P0", broadcast_action(b"m"))])
+    env.run_rounds(1)
+    assert parties["P1"].outputs == []
+    env.run_rounds(1)
+    assert parties["P1"].outputs == [("Broadcast", b"m")]
+
+
+def test_real_matches_ideal_outputs():
+    """Lemma 2, executably: same script → same per-party outputs."""
+    script = [
+        [("P0", broadcast_action(b"zebra")), ("P1", broadcast_action(b"apple"))],
+        [("P2", broadcast_action(b"mid"))],
+        [],
+        [],
+        [],
+    ]
+    results = []
+    for world in (_ideal_world, _real_world):
+        session, _x, parties, env = world(seed=9)
+        for actions in script:
+            env.run_round(actions)
+        results.append({pid: tuple(p.outputs) for pid, p in parties.items()})
+    assert results[0] == results[1]
+
+
+def test_real_all_parties_same_round_regardless_of_order():
+    """Section 3.2 item 3: activation order cannot skew delivery rounds."""
+    session, fixture, parties, env = _real_world()
+    env.run_round([("P2", broadcast_action(b"m"))], order=["P2", "P0", "P1"])
+    env.run_round((), order=["P1", "P2", "P0"])
+    env.run_round((), order=["P0", "P1", "P2"])
+    for party in parties.values():
+        assert party.outputs == [("Broadcast", b"m")]
+
+
+def test_real_messages_hidden_until_delivery():
+    """Before Δ rounds, nothing in the adversary's view reveals M."""
+    session, fixture, parties, env = _real_world()
+    env.run_round([("P0", broadcast_action(b"super-secret-payload"))])
+    env.run_rounds(1)
+    for _fid, detail in session.adversary.observed:
+        assert b"super-secret-payload" not in repr(detail).encode()
+
+
+def test_real_multiple_senders_and_batches():
+    session, fixture, parties, env = _real_world(n=4)
+    env.run_round(
+        [
+            ("P0", broadcast_action(b"a")),
+            ("P1", broadcast_action(b"b")),
+            ("P2", broadcast_action(b"c")),
+        ]
+    )
+    env.run_round([("P3", broadcast_action(b"d"))])
+    env.run_rounds(2)
+    first_batch = [m for _, m in parties["P0"].outputs[:3]]
+    assert first_batch == [b"a", b"b", b"c"]
+    assert [m for _, m in parties["P0"].outputs[3:]] == [b"d"]
+
+
+def test_real_replayed_ciphertext_ignored():
+    """A replayed (c, y) pair is dropped, not delivered twice."""
+    session, fixture, parties, env = _real_world()
+
+    replayed = []
+
+    class Replayer:
+        pass
+
+    original_on_ubc = fixture.fbc._on_ubc
+
+    env.run_round([("P0", broadcast_action(b"m"))])
+    # capture the UBC leak carrying (c, y) and re-broadcast it verbatim
+    for _fid, detail in session.adversary.observed:
+        if detail[0] == "Broadcast" and len(detail) == 4:
+            _, _tag, payload, sender = detail
+            if isinstance(payload, tuple) and len(payload) == 2:
+                session.corrupt("P2")
+                fixture.ubc.adv_broadcast("P2", payload)
+                replayed.append(payload)
+    assert replayed
+    env.run_rounds(2)
+    assert parties["P0"].outputs.count(("Broadcast", b"m")) == 1
+
+
+def test_real_respects_query_budget():
+    """All puzzle work fits in q batches per party per round."""
+    session, fixture, parties, env = _real_world(n=3, q=4)
+    env.run_round(
+        [("P0", broadcast_action(b"a")), ("P1", broadcast_action(b"b"))]
+    )
+    env.run_rounds(2)
+    # No ResourceExhausted was raised, and deliveries happened:
+    assert parties["P2"].outputs and len(parties["P2"].outputs) == 2

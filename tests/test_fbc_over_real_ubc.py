@@ -1,0 +1,61 @@
+"""ΠFBC over ΠUBC (real unfair broadcast below the fair layer)."""
+
+from repro.core.stacks import build_fbc_fixture
+from repro.functionalities.dummy import DummyBroadcastParty
+from repro.uc.environment import Environment
+from repro.uc.session import Session
+
+from tests.conftest import broadcast_action
+
+
+def _world(seed=1, n=3, q=4):
+    session = Session(seed=seed)
+    fixture = build_fbc_fixture(session, q=q, real_ubc=True)
+    parties = {}
+    for i in range(n):
+        party = DummyBroadcastParty(session, f"P{i}", fixture.fbc)
+        fixture.fbc.attach(party)
+        parties[f"P{i}"] = party
+    return session, fixture, parties, Environment(session)
+
+
+def test_delivery_still_two_rounds():
+    session, fixture, parties, env = _world()
+    env.run_round([("P0", broadcast_action(b"m"))])
+    env.run_rounds(1)
+    assert parties["P1"].outputs == []
+    env.run_rounds(1)
+    assert parties["P1"].outputs == [("Broadcast", b"m")]
+
+
+def test_matches_fbc_over_ideal_ubc():
+    """Substituting ΠUBC for FUBC below ΠFBC changes nothing observable."""
+    results = []
+    for real_ubc in (False, True):
+        session = Session(seed=33)
+        fixture = build_fbc_fixture(session, q=4, real_ubc=real_ubc)
+        parties = {}
+        for i in range(3):
+            party = DummyBroadcastParty(session, f"P{i}", fixture.fbc)
+            fixture.fbc.attach(party)
+            parties[f"P{i}"] = party
+        env = Environment(session)
+        env.run_round(
+            [("P0", broadcast_action(b"x")), ("P2", broadcast_action(b"y"))]
+        )
+        env.run_rounds(3)
+        results.append({pid: tuple(p.outputs) for pid, p in parties.items()})
+    assert results[0] == results[1]
+
+
+def test_frbc_instances_created_per_message():
+    session, fixture, parties, env = _world()
+    env.run_round(
+        [("P0", broadcast_action(b"a")), ("P1", broadcast_action(b"b"))]
+    )
+    env.run_rounds(2)
+    frbc_count = sum(
+        1 for fid in session.functionalities if fid.startswith("FRBC:PiUBC")
+    )
+    assert frbc_count == 2
+    assert len(parties["P2"].outputs) == 2

@@ -1,0 +1,136 @@
+"""Gen00-style commit-then-reveal baseline: constant rounds, weaker notion."""
+
+from repro.baselines.gennaro import GennaroSBCNetwork, commit_to
+from repro.baselines.hevia import HeviaCoalitionAttack
+from repro.uc.environment import Environment
+from repro.uc.session import Session
+
+
+def _run(n=4, seed=1, actions=None, extra_rounds=4):
+    session = Session(seed=seed)
+    net = GennaroSBCNetwork.build(session, n=n)
+    env = Environment(session)
+    env.run_round(actions or [])
+    env.run_rounds(extra_rounds)
+    return session, net
+
+
+def test_honest_run_delivers_all():
+    _s, net = _run(
+        actions=[
+            ("P0", lambda p: p.broadcast(b"alpha")),
+            ("P1", lambda p: p.broadcast(b"beta")),
+        ]
+    )
+    for party in net.parties.values():
+        assert party.outputs == [("Broadcast", [b"alpha", b"beta"])]
+
+
+def test_constant_round_count():
+    """Delivery at reveal_round + 1, regardless of n."""
+    for n in (3, 5, 7):
+        session, net = _run(n=n, actions=[("P0", lambda p: p.broadcast(b"m"))])
+        outputs = session.log.filter(kind="output")
+        assert outputs
+        assert {e.time for e in outputs} == {net.reveal_round + 1}
+
+
+def test_aborting_committer_recovered_from_backups():
+    """A committer silent in the reveal phase is reconstructed by echoes."""
+    session = Session(seed=3)
+    net = GennaroSBCNetwork.build(session, n=4)
+    env = Environment(session)
+    env.run_round(
+        [
+            ("P0", lambda p: p.broadcast(b"recoverable")),
+            ("P1", lambda p: p.broadcast(b"present")),
+        ]
+    )
+    env.run_rounds(1)
+    session.corrupt("P0")  # aborts before the reveal round
+    env.run_rounds(3)
+    batch = net.parties["P1"].outputs[-1][1]
+    assert batch == [b"present", b"recoverable"]
+
+
+def test_unrecoverable_abort_drops_out():
+    """The Gen00 weakness: an instantly-corrupted committer that never
+    dealt backups simply vanishes from the output (FSBC would have had
+    nothing recorded either; the *contrast* is that a Gen00 committer can
+    abort AFTER binding, which FSBC forbids post-lock)."""
+    session = Session(seed=4)
+    net = GennaroSBCNetwork.build(session, n=4)
+    env = Environment(session)
+    session.corrupt("P3")
+    # P3 commits via the adversary but deals no backup shares:
+    digest = commit_to(b"ghost", b"blinding")
+    net.ubc.adv_broadcast("P3", ("Gen00Commit", "P3", digest, (1,)))
+    env.run_round([("P0", lambda p: p.broadcast(b"real"))])
+    env.run_rounds(4)
+    batch = net.parties["P0"].outputs[-1][1]
+    assert batch == [b"real"]  # the ghost committer dropped out
+
+
+def test_forged_reveal_rejected():
+    session = Session(seed=5)
+    net = GennaroSBCNetwork.build(session, n=3)
+    env = Environment(session)
+    env.run_round([("P0", lambda p: p.broadcast(b"original"))])
+    session.corrupt("P2")
+    # P2 claims P0 revealed something else; the commitment check kills it.
+    net.ubc.adv_broadcast("P2", ("Gen00Reveal", "P0", b"forged", b"wrong"))
+    env.run_rounds(4)
+    batch = net.parties["P1"].outputs[-1][1]
+    assert batch == [b"original"]
+
+
+def test_same_n_over_2_cliff_as_hevia():
+    """The coalition attack from the Hevia baseline works here verbatim:
+    backup shares are a VSS of the decommitment."""
+    n = 5
+    for coalition_size, should_break in ((2, False), (3, True)):
+        coalition = [f"P{i}" for i in range(n - coalition_size, n)]
+        attack = HeviaCoalitionAttack(coalition, copier=None)
+        session = Session(seed=6, adversary=attack)
+        net = GennaroSBCNetwork.build(session, n=n)
+        env = Environment(session)
+
+        # Adapt the Hevia attack's share hoovering to the Gen00 wire tag.
+        collected = {}
+
+        original_on_leak = attack.on_leak
+
+        def on_leak(source, detail, _collected=collected, _attack=attack):
+            if (
+                isinstance(detail, tuple)
+                and detail
+                and detail[0] == "Deliver"
+                and detail[1] in _attack.coalition
+            ):
+                inner = detail[2]
+                if (
+                    isinstance(inner, tuple)
+                    and inner
+                    and inner[0] == "P2P"
+                    and isinstance(inner[1], tuple)
+                    and inner[1][0] == "Gen00Share"
+                ):
+                    _, committer, x, y = inner[1]
+                    _collected.setdefault(committer, {})[x] = y
+
+        attack.on_leak = on_leak
+        env.run_round([("P0", lambda p: p.broadcast(b"secret-commit"))])
+        threshold = (n - 1) // 2
+        reconstructed = False
+        for committer, points in collected.items():
+            if len(points) >= threshold + 1:
+                from repro.baselines.hevia import scalar_to_message
+                from repro.crypto.groups import TEST_GROUP
+                from repro.crypto.shamir import Share, reconstruct_secret
+
+                shares = [Share(x=x, y=y) for x, y in points.items()]
+                packed = reconstruct_secret(shares[: threshold + 1], TEST_GROUP.q)
+                decommitment = scalar_to_message(packed)
+                if decommitment and decommitment.startswith(b"secret-commit"):
+                    reconstructed = True
+        assert reconstructed == should_break

@@ -1,0 +1,94 @@
+"""Schnorr group: parameter validity and group-law sanity."""
+
+import pytest
+
+from repro.crypto.groups import GROUP_2048, TEST_GROUP, SchnorrGroup
+
+
+def _is_probable_prime(n: int, rounds: int = 30) -> bool:
+    import random
+
+    if n < 2:
+        return False
+    for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % p == 0:
+            return n == p
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    prng = random.Random(0xBEEF)
+    for _ in range(rounds):
+        a = prng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def test_test_group_is_safe_prime():
+    assert _is_probable_prime(TEST_GROUP.p)
+    assert _is_probable_prime(TEST_GROUP.q)
+    assert TEST_GROUP.p == 2 * TEST_GROUP.q + 1
+
+
+def test_test_group_size():
+    assert TEST_GROUP.p.bit_length() == 256
+
+
+def test_generator_has_order_q():
+    assert pow(TEST_GROUP.g, TEST_GROUP.q, TEST_GROUP.p) == 1
+    assert TEST_GROUP.g != 1
+
+
+def test_group_2048_structure():
+    assert GROUP_2048.p.bit_length() == 2048
+    assert pow(GROUP_2048.g, GROUP_2048.q, GROUP_2048.p) == 1
+
+
+def test_exponent_reduction(rng):
+    x = TEST_GROUP.random_scalar(rng)
+    assert TEST_GROUP.power_of_g(x) == TEST_GROUP.power_of_g(x + TEST_GROUP.q)
+
+
+def test_mul_inv(rng):
+    a = TEST_GROUP.random_element(rng)
+    assert TEST_GROUP.mul(a, TEST_GROUP.inv(a)) == 1
+
+
+def test_membership(rng):
+    assert TEST_GROUP.is_member(TEST_GROUP.g)
+    assert TEST_GROUP.is_member(TEST_GROUP.random_element(rng))
+    assert not TEST_GROUP.is_member(0)
+    assert not TEST_GROUP.is_member(TEST_GROUP.p)
+    # p-1 is a non-residue (order 2) for a safe-prime group.
+    assert not TEST_GROUP.is_member(TEST_GROUP.p - 1)
+
+
+def test_element_to_bytes_fixed_width(rng):
+    width = (TEST_GROUP.p.bit_length() + 7) // 8
+    assert len(TEST_GROUP.element_to_bytes(1)) == width
+    assert len(TEST_GROUP.element_to_bytes(TEST_GROUP.random_element(rng))) == width
+
+
+def test_discrete_log_small():
+    for exponent in (0, 1, 5, 1000):
+        target = TEST_GROUP.power_of_g(exponent)
+        assert TEST_GROUP.discrete_log_small(target, bound=2000) == exponent
+
+
+def test_discrete_log_out_of_bound():
+    target = TEST_GROUP.power_of_g(5000)
+    with pytest.raises(ValueError):
+        TEST_GROUP.discrete_log_small(target, bound=100)
+
+
+def test_bad_generator_rejected():
+    with pytest.raises(ValueError):
+        SchnorrGroup(p=23, q=11, g=1)

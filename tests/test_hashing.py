@@ -1,0 +1,72 @@
+"""Hash utilities: determinism, domain separation, XOR, expansion."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import (
+    DIGEST_SIZE,
+    expand,
+    hash_bytes,
+    hash_to_int,
+    xor_bytes,
+)
+
+
+def test_hash_deterministic():
+    assert hash_bytes(b"a", b"b") == hash_bytes(b"a", b"b")
+
+
+def test_hash_length():
+    assert len(hash_bytes(b"x")) == DIGEST_SIZE
+
+
+def test_domain_separation():
+    assert hash_bytes(b"x", domain=b"one") != hash_bytes(b"x", domain=b"two")
+
+
+def test_length_prefixing_prevents_ambiguity():
+    assert hash_bytes(b"ab", b"c") != hash_bytes(b"a", b"bc")
+
+
+def test_hash_to_int_in_range():
+    for modulus in (2, 3, 17, 2**255 - 19):
+        value = hash_to_int(b"seed", modulus=modulus)
+        assert 0 <= value < modulus
+
+
+def test_hash_to_int_invalid_modulus():
+    with pytest.raises(ValueError):
+        hash_to_int(b"x", modulus=0)
+
+
+def test_xor_roundtrip():
+    a, b = b"\x01\x02\x03", b"\xff\x00\x10"
+    assert xor_bytes(xor_bytes(a, b), b) == a
+
+
+def test_xor_length_mismatch():
+    with pytest.raises(ValueError):
+        xor_bytes(b"ab", b"a")
+
+
+def test_expand_length_and_determinism():
+    out = expand(b"seed", 100)
+    assert len(out) == 100
+    assert out == expand(b"seed", 100)
+    assert out != expand(b"seed2", 100)
+
+
+def test_expand_prefix_consistency():
+    assert expand(b"s", 64)[:32] == expand(b"s", 32)
+
+
+@given(st.binary(min_size=1, max_size=64), st.binary(min_size=1, max_size=64))
+def test_xor_involution_property(a, b):
+    if len(a) == len(b):
+        assert xor_bytes(xor_bytes(a, b), a) == b
+
+
+@given(st.integers(min_value=2, max_value=2**128), st.binary(max_size=32))
+def test_hash_to_int_range_property(modulus, seed):
+    assert 0 <= hash_to_int(seed, modulus=modulus) < modulus

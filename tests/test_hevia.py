@@ -1,0 +1,101 @@
+"""Hevia-style honest-majority SBC baseline: works under t < n/2, breaks above."""
+
+import pytest
+
+from repro.baselines.hevia import (
+    HeviaCoalitionAttack,
+    HeviaSBCNetwork,
+    message_to_scalar,
+    scalar_to_message,
+)
+from repro.uc.environment import Environment
+from repro.uc.session import Session
+
+
+def _run_baseline(n, coalition_size, seed=7, message=b"secret-bid"):
+    coalition = [f"P{i}" for i in range(n - coalition_size, n)]
+    attack = HeviaCoalitionAttack(coalition)
+    session = Session(seed=seed, adversary=attack)
+    network = HeviaSBCNetwork.build(session, n=n)
+    attack.baseline = network
+    env = Environment(session)
+    env.run_round([("P0", lambda p: p.broadcast(message))])
+    env.run_rounds(4)
+    return attack, network
+
+
+def test_message_scalar_roundtrip():
+    for message in (b"", b"x", b"a" * 30):
+        assert scalar_to_message(message_to_scalar(message)) == message
+
+
+def test_message_too_long_rejected():
+    with pytest.raises(ValueError):
+        message_to_scalar(b"y" * 31)
+
+
+def test_honest_run_delivers():
+    session = Session(seed=1)
+    network = HeviaSBCNetwork.build(session, n=4)
+    env = Environment(session)
+    env.run_round(
+        [
+            ("P0", lambda p: p.broadcast(b"alpha")),
+            ("P1", lambda p: p.broadcast(b"beta")),
+        ]
+    )
+    env.run_rounds(4)
+    for party in network.parties.values():
+        assert party.outputs == [("Broadcast", [b"alpha", b"beta"])]
+
+
+def test_simultaneity_holds_below_threshold():
+    """Coalition of t learns nothing before the reveal phase."""
+    n = 5  # threshold t = 2
+    attack, _network = _run_baseline(n, coalition_size=2)
+    assert attack.learned == {}
+    assert attack.copied == []
+
+
+def test_simultaneity_breaks_at_threshold_plus_one():
+    """Coalition of t+1 reconstructs honest messages early and copies."""
+    n = 5
+    attack, network = _run_baseline(n, coalition_size=3)
+    assert "P0" in attack.learned
+    message, learned_round = attack.learned["P0"]
+    assert message == b"secret-bid"
+    assert learned_round < network.reveal_round
+    assert attack.copied == [b"secret-bid"]
+
+
+def test_copy_lands_in_honest_outputs():
+    n = 4  # threshold 1, coalition 2 >= t+1
+    attack, network = _run_baseline(n, coalition_size=2)
+    honest = network.parties["P0"]
+    assert honest.outputs
+    batch = honest.outputs[-1][1]
+    assert batch.count(b"secret-bid") == 2  # original + coalition's copy
+
+
+def test_cliff_location_across_n():
+    """The break happens exactly when the coalition passes n/2."""
+    for n in (4, 5, 6, 7):
+        threshold = (n - 1) // 2
+        below, _ = _run_baseline(n, coalition_size=threshold)
+        above, _ = _run_baseline(n, coalition_size=threshold + 1)
+        assert below.learned == {}, f"n={n}: coalition of t must learn nothing"
+        assert above.learned, f"n={n}: coalition of t+1 must break simultaneity"
+
+
+def test_feldman_commitments_checked_in_reveal():
+    """A corrupted echo of a tampered share is discarded."""
+    session = Session(seed=3)
+    network = HeviaSBCNetwork.build(session, n=4)
+    env = Environment(session)
+    env.run_round([("P0", lambda p: p.broadcast(b"msg"))])
+    session.corrupt("P3")
+    # P3 echoes a garbage share claiming to be from P0's dealing.
+    network.ubc.adv_broadcast("P3", ("HeviaReveal", "P3", (("P0", 1, 12345),)))
+    env.run_rounds(4)
+    batch = network.parties["P1"].outputs[-1][1]
+    assert batch == [b"msg"]  # tampered share did not corrupt the output

@@ -1,0 +1,109 @@
+"""Cross-world integration: the executable UC-realization statements.
+
+For each theorem, the ideal world and the protocol world(s) are driven by
+the same environment script and must produce identical honest outputs —
+across seeds, schedules and message patterns.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_sbc_stack
+from repro.core.stacks import build_fbc_fixture
+from repro.functionalities.dummy import DummyBroadcastParty
+from repro.functionalities.fbc import FairBroadcast
+from repro.uc.environment import Environment
+from repro.uc.session import Session
+
+
+@pytest.mark.parametrize("seed", [1, 7, 99])
+def test_sbc_three_worlds_agree_across_seeds(seed):
+    results = {}
+    for mode in ("ideal", "hybrid", "composed"):
+        stack = build_sbc_stack(n=4, mode=mode, seed=seed)
+        stack.parties["P0"].broadcast(b"m0")
+        stack.parties["P3"].broadcast(b"m3")
+        stack.run_until_delivery()
+        results[mode] = stack.delivered()
+    assert results["ideal"] == results["hybrid"] == results["composed"]
+
+
+@pytest.mark.parametrize(
+    "order",
+    [
+        ["P0", "P1", "P2", "P3"],
+        ["P3", "P2", "P1", "P0"],
+        ["P2", "P0", "P3", "P1"],
+    ],
+)
+def test_sbc_outputs_independent_of_activation_order(order):
+    """The adversary schedules activations; outputs must not move."""
+    baselines = None
+    for mode in ("hybrid", "composed"):
+        stack = build_sbc_stack(n=4, mode=mode, seed=5)
+        stack.env.order = order
+        stack.parties["P1"].broadcast(b"x")
+        stack.parties["P2"].broadcast(b"y")
+        stack.run_until_delivery()
+        delivered = stack.delivered()
+        assert all(batch == [b"x", b"y"] for batch in delivered.values())
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    messages=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3), st.binary(min_size=1, max_size=24)),
+        min_size=1,
+        max_size=4,
+        unique_by=lambda x: x[1],
+    ),
+)
+def test_sbc_hybrid_matches_ideal_property(seed, messages):
+    """Random message patterns: hybrid ≡ ideal (Theorem 2, sampled)."""
+    results = []
+    for mode in ("ideal", "hybrid"):
+        stack = build_sbc_stack(n=4, mode=mode, seed=seed)
+        for sender_index, payload in messages:
+            stack.parties[f"P{sender_index}"].broadcast(payload)
+        stack.run_until_delivery()
+        results.append(stack.delivered())
+    assert results[0] == results[1]
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_fbc_real_matches_ideal_property(seed):
+    """Random seeds: ΠFBC ≡ F^{2,2}_FBC under a fixed two-round script."""
+    outcomes = []
+    for real in (False, True):
+        session = Session(seed=seed)
+        if real:
+            service = build_fbc_fixture(session, q=4).fbc
+        else:
+            service = FairBroadcast(session, delta=2, alpha=2)
+        parties = {
+            f"P{i}": DummyBroadcastParty(session, f"P{i}", service) for i in range(3)
+        }
+        if real:
+            for party in parties.values():
+                service.attach(party)
+        env = Environment(session)
+        env.run_round([("P0", lambda p: p.broadcast(b"one"))])
+        env.run_round([("P1", lambda p: p.broadcast(b"two"))])
+        env.run_rounds(3)
+        outcomes.append({pid: tuple(p.outputs) for pid, p in parties.items()})
+    assert outcomes[0] == outcomes[1]
+
+
+def test_full_stack_metrics_accounting():
+    """The composed world actually exercises the metered substrate."""
+    stack = build_sbc_stack(n=4, mode="composed", seed=2)
+    stack.parties["P0"].broadcast(b"m")
+    stack.run_until_delivery()
+    metrics = stack.session.metrics
+    assert metrics.get("ro.total") > 0
+    assert metrics.get("ro.points") > 0
+    assert metrics.get("rounds.advanced") >= stack.phi + stack.delta
+    assert metrics.get("messages.total") > 0

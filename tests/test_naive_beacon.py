@@ -1,0 +1,76 @@
+"""The naive commit-in-the-clear beacon baseline."""
+
+from repro.baselines.naive_beacon import NaiveBeaconParty, build_naive_beacon
+from repro.functionalities.durs import URS_LEN
+from repro.uc.environment import Environment
+from repro.uc.session import Session
+
+
+def _run(seed=1, n=4, close_round=2):
+    session = Session(seed=seed)
+    parties = build_naive_beacon(session, [f"P{i}" for i in range(n)], close_round)
+    env = Environment(session)
+    env.run_round([(pid, lambda p: p.contribute()) for pid in parties])
+    env.run_rounds(close_round + 2)
+    return session, parties
+
+
+def test_all_agree():
+    _session, parties = _run()
+    values = {party.urs for party in parties.values()}
+    assert len(values) == 1
+    assert len(next(iter(values))) == URS_LEN
+
+
+def test_output_emitted_once():
+    _session, parties = _run()
+    for party in parties.values():
+        assert len([o for o in party.outputs if o[0] == "URS"]) == 1
+
+
+def test_contribution_idempotent():
+    session = Session(seed=2)
+    parties = build_naive_beacon(session, ["P0", "P1"], close_round=2)
+    env = Environment(session)
+    env.run_round([("P0", lambda p: (p.contribute(), p.contribute()))])
+    env.run_round([("P1", lambda p: p.contribute())])
+    env.run_rounds(3)
+    # P0 contributed once despite the double call: 2 contributions total.
+    assert len(parties["P1"].contributions) == 2
+
+
+def test_late_contribution_ignored():
+    session = Session(seed=3)
+    parties = build_naive_beacon(session, ["P0", "P1", "P2"], close_round=1)
+    env = Environment(session)
+    env.run_round([("P0", lambda p: p.contribute())])
+    env.run_rounds(2)  # past close_round
+    env.run_round([("P1", lambda p: p.contribute())])
+    env.run_rounds(2)
+    for party in parties.values():
+        if party.urs is not None:
+            assert len(party.contributions) == 1  # the late one never counted
+
+
+def test_non_contribution_payloads_ignored():
+    session = Session(seed=4)
+    parties = build_naive_beacon(session, ["P0", "P1"], close_round=2)
+    ubc = parties["P0"].ubc
+    session.corrupt("P1")
+    ubc.adv_broadcast("P1", b"short")  # wrong length: not a contribution
+    ubc.adv_broadcast("P1", ("not", "bytes"))
+    env = Environment(session)
+    env.run_round([("P0", lambda p: p.contribute())])
+    env.run_rounds(3)
+    assert len(parties["P0"].contributions) == 1
+
+
+def test_leaks_expose_contributions():
+    """The defining weakness: contributions are in the adversary's view."""
+    session, parties = _run(seed=5)
+    leaked = [
+        d[2]
+        for _f, d in session.adversary.observed
+        if isinstance(d, tuple) and len(d) == 4 and d[0] == "Broadcast"
+    ]
+    assert len(leaked) == 4  # every contribution visible in the clear

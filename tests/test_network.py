@@ -1,0 +1,88 @@
+"""SyncNetwork: next-round delivery, metadata-only leaks, injection."""
+
+from repro.functionalities.network import SyncNetwork
+from repro.uc.entity import Party
+from repro.uc.errors import CorruptionError
+
+import pytest
+
+
+class Receiver(Party):
+    def __init__(self, session, pid):
+        super().__init__(session, pid)
+        self.received = []
+
+    def on_deliver(self, message, source):
+        self.received.append(message)
+
+
+def _setup(session, n=3):
+    net = SyncNetwork(session)
+    parties = [Receiver(session, f"P{i}") for i in range(n)]
+    return net, parties
+
+
+def test_delivery_next_round(session, env):
+    net, parties = _setup(session)
+    net.send(parties[0], "P1", b"hello")
+    assert parties[1].received == []
+    env.run_rounds(1)
+    assert parties[1].received == [("P2P", b"hello", "P0")]
+
+
+def test_send_all(session, env):
+    net, parties = _setup(session)
+    net.send_all(parties[0], b"x")
+    env.run_rounds(1)
+    for party in parties:
+        assert party.received == [("P2P", b"x", "P0")]
+
+
+def test_fifo_per_round(session, env):
+    net, parties = _setup(session)
+    net.send(parties[0], "P1", b"first")
+    net.send(parties[2], "P1", b"second")
+    env.run_rounds(1)
+    assert [m for _, m, _ in parties[1].received] == [b"first", b"second"]
+
+
+def test_leak_is_metadata_only(session):
+    """Secure channels: the adversary sees who talks to whom, not what."""
+    net, parties = _setup(session)
+    net.send(parties[0], "P1", b"super-secret")
+    leaks = [d for _f, d in session.adversary.observed]
+    assert ("Sent", "P0", "P1") in leaks
+    assert all(b"super-secret" not in repr(d).encode() for d in leaks)
+
+
+def test_delivery_to_corrupted_goes_to_adversary(session, env):
+    net, parties = _setup(session)
+    session.corrupt("P1")
+    net.send(parties[0], "P1", b"for-p1")
+    env.run_rounds(1)
+    assert parties[1].received == []  # the machine no longer runs
+    assert any(
+        d[0] == "Deliver" and d[1] == "P1"
+        for _f, d in session.adversary.observed
+        if isinstance(d, tuple)
+    )
+
+
+def test_adv_send_requires_corruption(session):
+    net, parties = _setup(session)
+    with pytest.raises(CorruptionError):
+        net.adv_send("P0", "P1", b"spoof")
+    session.corrupt("P0")
+    net.adv_send("P0", "P1", b"injected")
+
+
+def test_unknown_recipient_dropped(session, env):
+    net, parties = _setup(session)
+    net.send(parties[0], "ghost", b"x")
+    env.run_rounds(1)  # no crash, silently dropped
+
+
+def test_messages_metric(session, env):
+    net, parties = _setup(session)
+    net.send_all(parties[0], b"x")
+    assert session.metrics.get("messages.p2p") == 3

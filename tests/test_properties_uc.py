@@ -1,0 +1,129 @@
+"""Property-based UC invariants under randomized adversary schedules.
+
+Hypothesis drives random message patterns, activation orders and
+corruption times against the SBC hybrid world, checking the invariants
+the functionality promises no matter what the adversary does:
+
+* agreement — all honest parties output the same batch;
+* timing — outputs appear exactly at τ_rel;
+* validity — a message committed by a sender that is *never corrupted*
+  is in every honest batch.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_sbc_stack
+from repro.uc.adversary import Adversary
+
+
+class ScheduledCorruptor(Adversary):
+    """Corrupt given parties at given rounds (a random schedule)."""
+
+    def __init__(self, schedule):
+        super().__init__()
+        self.schedule = dict(schedule)  # pid -> round
+
+    def on_round_advanced(self, new_time: int) -> None:
+        for pid, at_round in self.schedule.items():
+            if new_time >= at_round and pid not in self.corrupted_parties:
+                if pid in self.session.parties:
+                    self.corrupt(pid)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=99_999),
+    pattern=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),   # sender index
+            st.integers(min_value=0, max_value=1),   # input round
+            st.binary(min_size=1, max_size=16),      # payload
+        ),
+        min_size=1,
+        max_size=4,
+        unique_by=lambda x: x[2],
+    ),
+    corruption=st.dictionaries(
+        st.sampled_from(["P2", "P3"]),
+        st.integers(min_value=1, max_value=9),
+        max_size=2,
+    ),
+)
+def test_sbc_invariants_under_random_schedules(seed, pattern, corruption):
+    adversary = ScheduledCorruptor(corruption)
+    stack = build_sbc_stack(n=4, mode="hybrid", seed=seed, adversary=adversary)
+    safe_senders = set()
+    any_broadcast = False
+    for sender_index, input_round, payload in pattern:
+        pid = f"P{sender_index}"
+        if input_round == 1:
+            continue  # scheduled below
+        if not stack.session.is_corrupted(pid):
+            stack.parties[pid].broadcast(payload)
+            any_broadcast = True
+            if pid not in corruption:
+                safe_senders.add((pid, payload))
+    stack.run_rounds(1)
+    for sender_index, input_round, payload in pattern:
+        pid = f"P{sender_index}"
+        if input_round == 1 and not stack.session.is_corrupted(pid):
+            stack.parties[pid].broadcast(payload)
+            any_broadcast = True
+            if pid not in corruption:
+                safe_senders.add((pid, payload))
+    stack.run_rounds(stack.phi + stack.delta + 2)
+
+    honest = [
+        party
+        for pid, party in stack.parties.items()
+        if not stack.session.is_corrupted(pid)
+    ]
+    assert honest, "at least two parties stay honest by construction"
+
+    if not any_broadcast:
+        # Nobody (honest) ever broadcast: no period opened, no delivery.
+        assert all(not party.outputs for party in honest)
+        return
+
+    batches = []
+    for party in honest:
+        outputs = [o for o in party.outputs if o[0] == "Broadcast"]
+        # timing: exactly one batch, at τ_rel
+        assert len(outputs) == 1
+        batches.append(tuple(outputs[0][1]))
+    # agreement:
+    assert len(set(batches)) == 1
+    # validity for never-corrupted senders:
+    batch = set(batches[0])
+    for _pid, payload in safe_senders:
+        assert payload in batch
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=99_999),
+    order=st.permutations(["P0", "P1", "P2", "P3"]),
+)
+def test_sbc_agreement_under_random_activation_orders(seed, order):
+    stack = build_sbc_stack(n=4, mode="hybrid", seed=seed)
+    stack.env.order = list(order)
+    stack.parties[order[0]].broadcast(b"first")
+    stack.parties[order[-1]].broadcast(b"last")
+    stack.run_until_delivery()
+    batches = {str(batch) for batch in stack.delivered().values()}
+    assert len(batches) == 1
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=99_999))
+def test_durs_agreement_property(seed):
+    from repro.core import build_durs_stack
+
+    stack = build_durs_stack(n=4, mode="hybrid", seed=seed)
+    stack.parties["P1"].urs_request()
+    stack.run_until_urs()
+    stack.run_rounds(2)
+    values = {party.urs for party in stack.parties.values()}
+    assert len(values) == 1 and None not in values

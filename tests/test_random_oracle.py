@@ -1,0 +1,90 @@
+"""FRO: consistency, independence, programmability and its limits."""
+
+import pytest
+
+from repro.functionalities.random_oracle import ProgrammingConflict, RandomOracle
+
+
+def test_consistent_responses(session):
+    ro = RandomOracle(session)
+    assert ro.query(b"x") == ro.query(b"x")
+
+
+def test_distinct_points_distinct_responses(session):
+    ro = RandomOracle(session)
+    # 32-byte uniform outputs collide with negligible probability.
+    assert ro.query(b"x") != ro.query(b"y")
+
+
+def test_distinct_oracles_independent(session):
+    ro1 = RandomOracle(session, fid="FRO1")
+    ro2 = RandomOracle(session, fid="FRO2")
+    assert ro1.query(b"x") != ro2.query(b"x")
+
+
+def test_digest_size_parameter(session):
+    ro = RandomOracle(session, fid="wide", digest_size=128)
+    assert len(ro.query(b"x")) == 128
+
+
+def test_non_bytes_rejected(session):
+    ro = RandomOracle(session)
+    with pytest.raises(TypeError):
+        ro.query("string")
+
+
+def test_query_attribution(session):
+    ro = RandomOracle(session)
+    ro.query(b"x", querier="P0")
+    assert ro.was_queried(b"x")
+    assert ro.was_queried(b"x", by="P0")
+    assert not ro.was_queried(b"x", by="P1")
+    assert not ro.was_queried(b"y")
+
+
+def test_programming_unqueried_point(session):
+    ro = RandomOracle(session)
+    ro.program(b"p", bytes(32))
+    assert ro.query(b"p") == bytes(32)
+
+
+def test_programming_queried_point_conflicts(session):
+    """The simulation-abort event: equivocation after the adversary queried."""
+    ro = RandomOracle(session)
+    ro.query(b"p", querier="A")
+    with pytest.raises(ProgrammingConflict):
+        ro.program(b"p", bytes(32))
+
+
+def test_programming_twice_same_value_ok(session):
+    ro = RandomOracle(session)
+    ro.program(b"p", bytes(32))
+    ro.program(b"p", bytes(32))
+
+
+def test_programming_twice_different_value_conflicts(session):
+    ro = RandomOracle(session)
+    ro.program(b"p", bytes(32))
+    with pytest.raises(ProgrammingConflict):
+        ro.program(b"p", b"\x01" * 32)
+
+
+def test_programming_wrong_size_rejected(session):
+    ro = RandomOracle(session)
+    with pytest.raises(ValueError):
+        ro.program(b"p", b"short")
+
+
+def test_hash_fn_closure(session):
+    ro = RandomOracle(session)
+    h = ro.hash_fn(querier="P7")
+    assert h(b"z") == ro.query(b"z")
+    assert ro.was_queried(b"z", by="P7")
+
+
+def test_metrics_count_queries(session):
+    ro = RandomOracle(session)
+    ro.query(b"a", querier="P0")
+    ro.query(b"b", querier="P0")
+    assert session.metrics.get("ro.total") == 2
+    assert session.metrics.get("ro.by.P0") == 2

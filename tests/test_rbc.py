@@ -1,0 +1,86 @@
+"""FRBC (Figure 6): single-shot relaxed broadcast semantics."""
+
+from repro.functionalities.rbc import RelaxedBroadcast
+from repro.uc.entity import Party
+
+
+class Collector(Party):
+    def __init__(self, session, pid):
+        super().__init__(session, pid)
+        self.received = []
+
+    def on_deliver(self, message, source):
+        self.received.append(message)
+
+
+def _setup(session, n=3):
+    parties = [Collector(session, f"P{i}") for i in range(n)]
+    rbc = RelaxedBroadcast(session, fid="FRBC")
+    return parties, rbc
+
+
+def test_delivery_on_sender_tick(session):
+    parties, rbc = _setup(session)
+    rbc.broadcast(parties[0], b"hello")
+    assert parties[1].received == []  # not yet delivered
+    rbc.on_party_tick(parties[0])
+    for party in parties:
+        assert party.received == [("Broadcast", b"hello", "P0")]
+    assert rbc.halted
+
+
+def test_leak_precedes_delivery(session):
+    parties, rbc = _setup(session)
+    rbc.broadcast(parties[0], b"hello")
+    assert ("FRBC", ("Broadcast", b"hello", "P0")) in session.adversary.observed
+
+
+def test_single_message_only(session):
+    parties, rbc = _setup(session)
+    rbc.broadcast(parties[0], b"first")
+    rbc.broadcast(parties[1], b"second")  # ignored: sender already fixed
+    rbc.on_party_tick(parties[0])
+    assert parties[2].received == [("Broadcast", b"first", "P0")]
+
+
+def test_adv_broadcast_immediate(session):
+    parties, rbc = _setup(session)
+    session.corrupt("P0")
+    rbc.adv_broadcast("P0", b"evil")
+    for party in parties[1:]:
+        assert party.received == [("Broadcast", b"evil", "P0")]
+
+
+def test_allow_ignored_while_sender_honest(session):
+    parties, rbc = _setup(session)
+    rbc.broadcast(parties[0], b"original")
+    rbc.adv_allow(b"replacement")  # sender honest: no effect
+    rbc.on_party_tick(parties[0])
+    assert parties[1].received == [("Broadcast", b"original", "P0")]
+
+
+def test_allow_replaces_after_corruption(session):
+    """The non-atomic replacement FRBC permits (relaxed validity)."""
+    parties, rbc = _setup(session)
+    rbc.broadcast(parties[0], b"original")
+    session.corrupt("P0")
+    rbc.adv_allow(b"replacement")
+    assert parties[1].received == [("Broadcast", b"replacement", "P0")]
+    # The instance is spent: the original can no longer surface.
+    rbc.on_party_tick(parties[0])
+    assert len(parties[1].received) == 1
+
+
+def test_agreement_all_receive_same(session):
+    parties, rbc = _setup(session, n=5)
+    rbc.broadcast(parties[2], ("structured", 42))
+    rbc.on_party_tick(parties[2])
+    views = {tuple(party.received[0]) for party in parties}
+    assert len(views) == 1
+
+
+def test_non_sender_tick_is_noop(session):
+    parties, rbc = _setup(session)
+    rbc.broadcast(parties[0], b"m")
+    rbc.on_party_tick(parties[1])
+    assert parties[1].received == []

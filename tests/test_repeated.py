@@ -1,0 +1,51 @@
+"""Repeated SBC periods over a shared substrate."""
+
+from repro.core.repeated import RepeatedSBC
+
+
+def test_three_periods_deliver_independently():
+    runner = RepeatedSBC(n=3, seed=10)
+    for k in range(3):
+        delivered = runner.run_period(
+            {"P0": f"p{k}-a".encode(), "P1": f"p{k}-b".encode()}
+        )
+        expected = sorted([f"p{k}-a".encode(), f"p{k}-b".encode()])
+        assert all(batch == expected for batch in delivered.values())
+
+
+def test_no_cross_period_leakage():
+    """A period's batch never contains an earlier period's messages."""
+    runner = RepeatedSBC(n=2, seed=11)
+    first = runner.run_period({"P0": b"first-period"})
+    second = runner.run_period({"P1": b"second-period"})
+    assert first["P1"] == [b"first-period"]
+    assert second["P0"] == [b"second-period"]
+    assert b"first-period" not in second["P0"]
+
+
+def test_empty_period_delivers_nothing():
+    runner = RepeatedSBC(n=2, seed=12)
+    runner.run_period({"P0": b"x"})
+    empty = runner.run_period({})
+    assert all(batch is None for batch in empty.values())
+
+
+def test_substrate_shared_across_periods():
+    runner = RepeatedSBC(n=2, seed=13)
+    runner.run_period({"P0": b"a"})
+    functionality_count = len(runner.session.functionalities)
+    runner.run_period({"P0": b"b"})
+    # only the one-per-period adapter is added; substrate objects reused
+    assert len(runner.session.functionalities) == functionality_count + 1
+
+
+def test_broadcast_requires_joined_period():
+    import pytest
+
+    from repro.core.repeated import RepeatedSBCParty
+    from repro.uc.session import Session
+
+    session = Session(seed=1)
+    party = RepeatedSBCParty(session, "P0")
+    with pytest.raises(RuntimeError):
+        party.broadcast(b"m")

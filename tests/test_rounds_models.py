@@ -1,0 +1,52 @@
+"""Lineage complexity models (E9): shapes, tolerances, table building."""
+
+from repro.baselines.rounds_models import COMPLEXITY_MODELS, complexity_table
+
+
+def test_all_models_present():
+    assert set(COMPLEXITY_MODELS) == {
+        "CGMA85", "CR87", "Gen00", "FKL08", "Hev06", "this-paper",
+    }
+
+
+def test_round_complexity_shapes():
+    """Linear vs logarithmic vs constant, as the paper's intro recounts."""
+    cgma = COMPLEXITY_MODELS["CGMA85"]
+    cr = COMPLEXITY_MODELS["CR87"]
+    gen = COMPLEXITY_MODELS["Gen00"]
+    ours = COMPLEXITY_MODELS["this-paper"]
+    small, large = 8, 1024
+    t_small, t_large = small // 2, large // 2
+    # CGMA85 grows linearly with t:
+    assert cgma.rounds(large, t_large) / cgma.rounds(small, t_small) > 50
+    # CR87 grows logarithmically:
+    ratio = cr.rounds(large, t_large) / cr.rounds(small, t_small)
+    assert 1 < ratio < 5
+    # Gen00 and ours are constant:
+    assert gen.rounds(small, t_small) == gen.rounds(large, t_large)
+    assert ours.rounds(small, t_small) == ours.rounds(large, t_large)
+
+
+def test_only_this_paper_tolerates_dishonest_majority():
+    for name, model in COMPLEXITY_MODELS.items():
+        n = 10
+        if name == "this-paper":
+            assert model.tolerates(n, n - 1)
+        else:
+            assert model.tolerates(n, (n - 1) // 2)
+            assert not model.tolerates(n, n // 2 + 1)
+
+
+def test_only_uc_models_flagged_composable():
+    composable = {n for n, m in COMPLEXITY_MODELS.items() if m.composable}
+    assert composable == {"Hev06", "this-paper"}
+    adaptive = {n for n, m in COMPLEXITY_MODELS.items() if m.adaptive}
+    assert adaptive == {"this-paper"}
+
+
+def test_table_rows():
+    rows = complexity_table([4, 16])
+    assert len(rows) == 2 * len(COMPLEXITY_MODELS)
+    sample = [r for r in rows if r["model"] == "this-paper" and r["n"] == 16][0]
+    assert sample["max_t"] == 15
+    assert sample["rounds"] == 7

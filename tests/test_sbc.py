@@ -1,0 +1,147 @@
+"""Simultaneous broadcast (Figure 13 / Figure 14, Theorem 2, Corollary 1).
+
+Covers: agreement and output equality across ideal/hybrid/composed
+worlds; the broadcast period (late/early messages discarded); delivery at
+exactly t_end + Δ; liveness without full participation; corrupted-sender
+participation.
+"""
+
+import pytest
+
+from repro.core import build_sbc_stack
+from repro.uc.adversary import StaticCorruptor
+
+ALL_MODES = ("ideal", "hybrid", "composed")
+
+
+@pytest.mark.parametrize("mode", ALL_MODES)
+def test_agreement_and_validity(mode):
+    stack = build_sbc_stack(n=4, mode=mode, seed=11)
+    stack.parties["P0"].broadcast(b"alpha")
+    stack.parties["P1"].broadcast(b"beta")
+    stack.run_until_delivery()
+    batches = stack.delivered()
+    assert all(batch == [b"alpha", b"beta"] for batch in batches.values())
+
+
+def test_outputs_identical_across_all_modes():
+    """Theorem 2 / Corollary 1, executably: same script, same outputs."""
+    results = {}
+    for mode in ALL_MODES:
+        stack = build_sbc_stack(n=4, mode=mode, seed=21)
+        stack.parties["P2"].broadcast(b"zzz")
+        stack.parties["P0"].broadcast(b"aaa")
+        stack.run_until_delivery()
+        results[mode] = stack.delivered()
+    assert results["ideal"] == results["hybrid"] == results["composed"]
+
+
+@pytest.mark.parametrize("mode", ALL_MODES)
+def test_delivery_round_is_phi_plus_delta(mode):
+    stack = build_sbc_stack(n=3, mode=mode, seed=3)
+    stack.parties["P0"].broadcast(b"m")  # period opens at round 0
+    target = stack.phi + stack.delta
+    stack.run_rounds(target)  # rounds 0 .. target-1 done; now at `target`
+    assert all(not p.outputs for p in stack.parties.values())
+    stack.run_rounds(1)  # ticks of round `target` deliver
+    for party in stack.parties.values():
+        assert party.outputs, "delivery must happen exactly at t_end + delta"
+
+
+@pytest.mark.parametrize("mode", ALL_MODES)
+def test_liveness_without_full_participation(mode):
+    """Unlike [Hev06], termination does not need everyone to broadcast."""
+    stack = build_sbc_stack(n=5, mode=mode, seed=4)
+    stack.parties["P0"].broadcast(b"only-one")
+    stack.run_until_delivery()
+    batches = stack.delivered()
+    assert all(batch == [b"only-one"] for batch in batches.values())
+
+
+@pytest.mark.parametrize("mode", ALL_MODES)
+def test_late_messages_discarded(mode):
+    stack = build_sbc_stack(n=3, mode=mode, seed=5)
+    stack.parties["P0"].broadcast(b"on-time")
+    # Run past the end of the period, then try to broadcast.
+    stack.run_rounds(stack.phi + 1)
+    stack.parties["P1"].broadcast(b"too-late")
+    stack.run_until_delivery()
+    for batch in stack.delivered().values():
+        assert b"too-late" not in batch
+        assert b"on-time" in batch
+
+
+def test_hybrid_late_window_respects_tle_delay():
+    """ΠSBC refuses inputs at Cl ≥ t_end − delay (footnote of Fig. 14)."""
+    stack = build_sbc_stack(n=3, mode="hybrid", seed=6, phi=4)
+    stack.parties["P0"].broadcast(b"first")  # opens period, round 0
+    delay = stack.tle.delay
+    # advance to exactly t_end − delay
+    stack.run_rounds(stack.phi - delay)
+    stack.parties["P1"].broadcast(b"at-boundary")
+    stack.run_until_delivery()
+    for batch in stack.delivered().values():
+        assert batch == [b"first"]
+
+
+@pytest.mark.parametrize("mode", ("hybrid", "composed"))
+def test_messages_within_window_accepted(mode):
+    stack = build_sbc_stack(n=3, mode=mode, seed=7, phi=5)
+    stack.parties["P0"].broadcast(b"r0")
+    stack.run_rounds(1)
+    stack.parties["P1"].broadcast(b"r1")
+    stack.run_until_delivery()
+    for batch in stack.delivered().values():
+        assert batch == [b"r0", b"r1"]
+
+
+@pytest.mark.parametrize("mode", ALL_MODES)
+def test_batch_sorted(mode):
+    stack = build_sbc_stack(n=3, mode=mode, seed=8)
+    stack.parties["P1"].broadcast(b"zz")
+    stack.parties["P0"].broadcast(b"aa")
+    stack.parties["P2"].broadcast(b"mm")
+    stack.run_until_delivery()
+    for batch in stack.delivered().values():
+        assert batch == sorted(batch)
+
+
+@pytest.mark.parametrize("mode", ALL_MODES)
+def test_statically_corrupted_receivers_do_not_block(mode):
+    """The clock never waits for corrupted parties: liveness under t<n."""
+    adversary = StaticCorruptor(["P2", "P3"])
+    stack = build_sbc_stack(n=4, mode=mode, seed=9, adversary=adversary)
+    stack.parties["P0"].broadcast(b"m")
+    stack.run_until_delivery()
+    for pid in ("P0", "P1"):
+        batches = [o[1] for o in stack.parties[pid].outputs if o[0] == "Broadcast"]
+        assert batches and batches[-1] == [b"m"]
+
+
+def test_multiple_inputs_before_wakeup_all_queued():
+    """Deviation from Figure 14's literal `firstP`: every pre-wake input
+    is queued, matching FSBC (which records all in-period requests)."""
+    stack = build_sbc_stack(n=3, mode="hybrid", seed=10)
+    party = stack.parties["P0"]
+    party.broadcast(b"first")
+    party.broadcast(b"second")
+    stack.run_until_delivery()
+    for batch in stack.delivered().values():
+        assert batch == [b"first", b"second"]
+
+
+def test_message_too_long_rejected():
+    stack = build_sbc_stack(n=3, mode="hybrid", seed=11)
+    from repro.protocols.common import MessageTooLong
+
+    with pytest.raises(MessageTooLong):
+        stack.parties["P0"].broadcast(b"x" * 10_000)
+
+
+def test_structured_payloads_roundtrip():
+    stack = build_sbc_stack(n=3, mode="composed", seed=12)
+    payload = ("bid", 42, b"blob", ("nested", None))
+    stack.parties["P0"].broadcast(payload)
+    stack.run_until_delivery()
+    for batch in stack.delivered().values():
+        assert batch == [payload]

@@ -1,0 +1,122 @@
+"""FSBC (Figure 13), clause by clause: the ideal object's exact behavior."""
+
+import pytest
+
+from repro.functionalities.dummy import DummyBroadcastParty
+from repro.functionalities.sbc import SimultaneousBroadcast
+from repro.uc.environment import Environment
+from repro.uc.session import Session
+
+
+def _world(phi=3, delta=2, alpha=1, n=3, seed=1):
+    session = Session(seed=seed)
+    sbc = SimultaneousBroadcast(session, phi=phi, delta=delta, alpha=alpha)
+    parties = {
+        f"P{i}": DummyBroadcastParty(session, f"P{i}", sbc) for i in range(n)
+    }
+    return session, sbc, parties, Environment(session)
+
+
+def test_period_opens_at_first_request():
+    session, sbc, parties, env = _world()
+    assert sbc.t_start is None
+    env.run_rounds(2)
+    sbc.broadcast(parties["P0"], b"m")
+    assert sbc.t_start == 2 and sbc.t_end == 5
+
+
+def test_adv_broadcast_opens_period_too():
+    session, sbc, parties, env = _world()
+    session.corrupt("P2")
+    sbc.adv_broadcast("P2", b"evil-first")
+    assert sbc.t_start == 0
+
+
+def test_requests_after_tend_discarded():
+    session, sbc, parties, env = _world(phi=2)
+    sbc.broadcast(parties["P0"], b"in")
+    env.run_rounds(2)  # now Cl = t_end
+    assert sbc.broadcast(parties["P1"], b"out") is None
+    env.run_rounds(3)
+    batches = [o[1] for o in parties["P2"].outputs if o[0] == "Broadcast"]
+    assert batches == [[b"in"]]
+
+
+def test_honest_leak_is_length_only():
+    session, sbc, parties, env = _world()
+    sbc.broadcast(parties["P0"], b"secret-vote")
+    leak = [d for _f, d in session.adversary.observed if d[0] == "Sender"][0]
+    assert leak[2][0] == "len" and isinstance(leak[2][1], int)
+
+
+def test_corrupted_leak_includes_message():
+    session, sbc, parties, env = _world()
+    session.corrupt("P2")
+    sbc.adv_broadcast("P2", b"adversarial")
+    leak = [d for _f, d in session.adversary.observed if d[0] == "Sender"][-1]
+    assert leak[2] == b"adversarial"
+
+
+def test_allow_replaces_only_corrupted_nonfinal():
+    session, sbc, parties, env = _world()
+    tag_honest = sbc.broadcast(parties["P0"], b"honest")
+    session.corrupt("P2")
+    tag_corrupt = sbc.adv_broadcast("P2", b"original-evil")
+    # honest sender's record is untouchable:
+    assert not sbc.adv_allow(tag_honest, b"evil", "P0")
+    # the corrupted sender's adv_broadcast record is already final
+    # (flag 1 at insertion, per the figure):
+    assert not sbc.adv_allow(tag_corrupt, b"replaced", "P2")
+
+
+def test_allow_on_corrupted_after_honest_request():
+    """A sender corrupted after requesting: its flag-0 record is
+    replaceable until t_end (the non-atomic window)."""
+    session, sbc, parties, env = _world()
+    tag = sbc.broadcast(parties["P0"], b"was-honest")
+    session.corrupt("P0")
+    assert sbc.adv_allow(tag, b"replaced", "P0")
+    env.run_rounds(6)
+    batches = [o[1] for o in parties["P1"].outputs if o[0] == "Broadcast"]
+    assert batches == [[b"replaced"]]
+
+
+def test_corrupted_without_allow_is_dropped():
+    """A flag-0 record whose sender is corrupted at t_end is discarded —
+    the simulator decides whether such messages appear."""
+    session, sbc, parties, env = _world()
+    sbc.broadcast(parties["P0"], b"will-vanish")
+    sbc.broadcast(parties["P1"], b"stays")
+    session.corrupt("P0")
+    env.run_rounds(6)
+    batches = [o[1] for o in parties["P2"].outputs if o[0] == "Broadcast"]
+    assert batches == [[b"stays"]]
+
+
+def test_corruption_request_lists_pending_of_corrupted():
+    session, sbc, parties, env = _world()
+    tag = sbc.broadcast(parties["P0"], b"mine")
+    assert sbc.adv_corruption_request() == []
+    session.corrupt("P0")
+    pending = sbc.adv_corruption_request()
+    assert [(t, m) for t, m, _p, _cl in pending] == [(tag, b"mine")]
+
+
+def test_preview_leak_at_tend_plus_delta_minus_alpha():
+    session, sbc, parties, env = _world(phi=3, delta=2, alpha=1)
+    sbc.broadcast(parties["P0"], b"m")
+    env.run_rounds(6)
+    previews = [
+        e
+        for e in session.log.filter(kind="leak", source="FSBC")
+        if e.detail and e.detail[0] == "Broadcast"
+    ]
+    assert previews and previews[0].time == 3 + 2 - 1
+
+
+def test_alpha_bounds_validated():
+    session = Session(seed=1)
+    with pytest.raises(ValueError):
+        SimultaneousBroadcast(session, phi=3, delta=2, alpha=3)
+    with pytest.raises(ValueError):
+        SimultaneousBroadcast(session, phi=0, delta=2, alpha=1)

@@ -1,0 +1,52 @@
+"""Schnorr signatures: correctness and rejection paths."""
+
+from repro.crypto.groups import TEST_GROUP
+from repro.crypto.schnorr import (
+    SchnorrSignature,
+    schnorr_keygen,
+    schnorr_sign,
+    schnorr_verify,
+)
+
+
+def test_sign_verify(rng):
+    kp = schnorr_keygen(rng)
+    sig = schnorr_sign(kp, b"message", rng)
+    assert schnorr_verify(kp.group, kp.public, b"message", sig)
+
+
+def test_wrong_message_rejected(rng):
+    kp = schnorr_keygen(rng)
+    sig = schnorr_sign(kp, b"message", rng)
+    assert not schnorr_verify(kp.group, kp.public, b"other", sig)
+
+
+def test_wrong_key_rejected(rng):
+    kp1, kp2 = schnorr_keygen(rng), schnorr_keygen(rng)
+    sig = schnorr_sign(kp1, b"message", rng)
+    assert not schnorr_verify(kp1.group, kp2.public, b"message", sig)
+
+
+def test_tampered_signature_rejected(rng):
+    kp = schnorr_keygen(rng)
+    sig = schnorr_sign(kp, b"message", rng)
+    bad = SchnorrSignature(r=sig.r, s=(sig.s + 1) % kp.group.q)
+    assert not schnorr_verify(kp.group, kp.public, b"message", bad)
+
+
+def test_non_member_commitment_rejected(rng):
+    kp = schnorr_keygen(rng)
+    sig = schnorr_sign(kp, b"message", rng)
+    bad = SchnorrSignature(r=TEST_GROUP.p - 1, s=sig.s)
+    assert not schnorr_verify(kp.group, kp.public, b"message", bad)
+
+
+def test_signatures_randomized(rng):
+    kp = schnorr_keygen(rng)
+    assert schnorr_sign(kp, b"m", rng) != schnorr_sign(kp, b"m", rng)
+
+
+def test_empty_message(rng):
+    kp = schnorr_keygen(rng)
+    sig = schnorr_sign(kp, b"", rng)
+    assert schnorr_verify(kp.group, kp.public, b"", sig)

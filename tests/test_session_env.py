@@ -1,0 +1,145 @@
+"""Session registry, corruption model, environment driving, trace."""
+
+import pytest
+
+from repro.uc.adversary import Adversary, StaticCorruptor
+from repro.uc.entity import Functionality, Party
+from repro.uc.environment import Environment
+from repro.uc.errors import CorruptionError, UnknownEntity
+from repro.uc.session import Session
+
+
+def test_duplicate_party_rejected(session):
+    Party(session, "P0")
+    with pytest.raises(ValueError):
+        Party(session, "P0")
+
+
+def test_duplicate_functionality_rejected(session):
+    Functionality(session, "F")
+    with pytest.raises(ValueError):
+        Functionality(session, "F")
+
+
+def test_lookup_errors(session):
+    with pytest.raises(UnknownEntity):
+        session.party("nope")
+    with pytest.raises(UnknownEntity):
+        session.functionality("nope")
+
+
+def test_double_corruption_rejected(session):
+    Party(session, "P0")
+    session.corrupt("P0")
+    with pytest.raises(CorruptionError):
+        session.corrupt("P0")
+
+
+def test_corruption_exposes_machine(session):
+    party = Party(session, "P0")
+    exposed = session.corrupt("P0")
+    assert exposed is party
+    assert party.corrupted
+
+
+def test_honest_parties_view(session):
+    Party(session, "P0")
+    Party(session, "P1")
+    session.corrupt("P0")
+    assert list(session.honest_parties) == ["P1"]
+
+
+def test_random_bytes_deterministic():
+    a = Session(seed=5).random_bytes(16)
+    b = Session(seed=5).random_bytes(16)
+    assert a == b
+    assert Session(seed=6).random_bytes(16) != a
+
+
+def test_fresh_tags_unique(session):
+    tags = {session.fresh_tag() for _ in range(100)}
+    assert len(tags) == 100
+
+
+def test_static_corruptor():
+    adv = StaticCorruptor(["P1"])
+    session = Session(seed=0, adversary=adv)
+    Party(session, "P0")
+    Party(session, "P1")
+    assert session.is_corrupted("P1")
+    assert not session.is_corrupted("P0")
+
+
+def test_environment_skips_corrupted_inputs():
+    session = Session(seed=0)
+    party = Party(session, "P0")
+    Party(session, "P1")
+    session.corrupt("P0")
+    env = Environment(session)
+    hits = []
+    env.run_round([("P0", lambda p: hits.append(p.pid))])
+    assert hits == []
+
+
+def test_environment_activation_order():
+    session = Session(seed=0)
+    order = []
+
+    class Probe(Party):
+        def end_of_round(self):
+            order.append(self.pid)
+
+    Probe(session, "P0")
+    Probe(session, "P1")
+    Probe(session, "P2")
+    Environment(session).run_round((), order=["P2", "P0", "P1"])
+    assert order == ["P2", "P0", "P1"]
+
+
+def test_run_until_liveness_failure():
+    session = Session(seed=0)
+    Party(session, "P0")
+    env = Environment(session)
+    with pytest.raises(RuntimeError):
+        env.run_until(lambda s: False, max_rounds=3)
+
+
+def test_adversary_observes_leaks(session):
+    f = Functionality(session, "F")
+    f.leak(("hello",))
+    assert session.adversary.observed == [("F", ("hello",))]
+
+
+def test_mid_round_corruption_via_leak_hook():
+    """The non-atomic model: a leak-triggered corruption lands mid-round."""
+
+    class CorruptOnLeak(Adversary):
+        def on_leak(self, source, detail):
+            super().on_leak(source, detail)
+            if detail == ("trigger",) and "P0" not in self.corrupted_parties:
+                self.corrupt("P0")
+
+    session = Session(seed=0, adversary=CorruptOnLeak())
+    Party(session, "P0")
+    f = Functionality(session, "F")
+    assert not session.is_corrupted("P0")
+    f.leak(("trigger",))
+    assert session.is_corrupted("P0")
+
+
+def test_trace_records_and_filters(session):
+    Party(session, "P0")
+    session.log.record(0, "custom", "tester", "detail")
+    events = session.log.filter(kind="custom")
+    assert len(events) == 1
+    assert events[0].source == "tester"
+    assert session.log.first("custom").detail == "detail"
+    assert session.log.last("custom").seq == events[0].seq
+
+
+def test_metrics_snapshot_diff(session):
+    session.metrics.inc("x", 3)
+    before = session.metrics.snapshot()
+    session.metrics.inc("x", 2)
+    session.metrics.inc("y")
+    assert session.metrics.diff(before) == {"x": 2, "y": 1}

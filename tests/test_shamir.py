@@ -1,0 +1,98 @@
+"""Shamir sharing and Feldman VSS: reconstruction, thresholds, verification."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.groups import TEST_GROUP
+from repro.crypto.shamir import (
+    Share,
+    feldman_share,
+    feldman_verify,
+    reconstruct_secret,
+    share_secret,
+)
+
+PRIME = TEST_GROUP.q
+
+
+def test_share_reconstruct(rng):
+    shares = share_secret(12345, threshold=2, parties=5, modulus=PRIME, rng=rng)
+    assert reconstruct_secret(shares[:3], PRIME) == 12345
+
+
+def test_any_subset_of_threshold_plus_one(rng):
+    secret = 777
+    shares = share_secret(secret, threshold=2, parties=6, modulus=PRIME, rng=rng)
+    for subset in ([0, 1, 2], [3, 4, 5], [0, 2, 4], [1, 3, 5]):
+        assert reconstruct_secret([shares[i] for i in subset], PRIME) == secret
+
+
+def test_threshold_shares_do_not_determine_secret(rng):
+    # With t shares, every candidate secret remains consistent: check that
+    # two different secrets can produce the same t-share view.
+    shares_a = share_secret(1, threshold=2, parties=5, modulus=PRIME, rng=rng)
+    # Interpolating only 2 (= t) points plus a guessed secret point always
+    # succeeds, so reconstruction from t points is meaningless:
+    partial = shares_a[:2]
+    for guess in (0, 1, 99):
+        candidate = reconstruct_secret(partial + [Share(x=0, y=guess)], PRIME)
+        assert candidate == guess  # the guess fully dictates the "secret"
+
+
+def test_zero_threshold(rng):
+    shares = share_secret(55, threshold=0, parties=3, modulus=PRIME, rng=rng)
+    assert all(share.y == 55 for share in shares)
+
+
+def test_invalid_parameters(rng):
+    with pytest.raises(ValueError):
+        share_secret(1, threshold=3, parties=3, modulus=PRIME, rng=rng)
+    with pytest.raises(ValueError):
+        share_secret(1, threshold=-1, parties=3, modulus=PRIME, rng=rng)
+    with pytest.raises(ValueError):
+        share_secret(1, threshold=1, parties=10, modulus=7, rng=rng)
+
+
+def test_conflicting_shares_rejected(rng):
+    with pytest.raises(ValueError):
+        reconstruct_secret([Share(1, 5), Share(1, 6), Share(2, 7)], PRIME)
+
+
+def test_feldman_share_verifies(rng):
+    shares, commitment = feldman_share(TEST_GROUP, 999, 2, 5, rng)
+    for share in shares:
+        assert feldman_verify(TEST_GROUP, share, commitment)
+
+
+def test_feldman_detects_tampering(rng):
+    shares, commitment = feldman_share(TEST_GROUP, 999, 2, 5, rng)
+    bad = Share(x=shares[0].x, y=(shares[0].y + 1) % TEST_GROUP.q)
+    assert not feldman_verify(TEST_GROUP, bad, commitment)
+
+
+def test_feldman_reconstructs(rng):
+    shares, _ = feldman_share(TEST_GROUP, 31337, 1, 4, rng)
+    assert reconstruct_secret(shares[:2], TEST_GROUP.q) == 31337
+
+
+def test_feldman_commitment_degree(rng):
+    _, commitment = feldman_share(TEST_GROUP, 1, 3, 5, rng)
+    assert commitment.degree == 3
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    secret=st.integers(min_value=0, max_value=PRIME - 1),
+    threshold=st.integers(min_value=0, max_value=4),
+    extra=st.integers(min_value=1, max_value=4),
+    seed=st.integers(),
+)
+def test_reconstruction_property(secret, threshold, extra, seed):
+    rng = random.Random(seed)
+    parties = threshold + extra
+    shares = share_secret(secret, threshold, parties, PRIME, rng)
+    chosen = rng.sample(shares, threshold + 1)
+    assert reconstruct_secret(chosen, PRIME) == secret

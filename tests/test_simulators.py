@@ -1,0 +1,149 @@
+"""Executable simulators: view equality (Lemma 1) and equivocation (Thm 2)."""
+
+import pytest
+
+from repro.attacks.adaptive import UBCReplaceAttack
+from repro.attacks.rushing import UBCCopyAttack
+from repro.functionalities.dummy import DummyBroadcastParty
+from repro.functionalities.random_oracle import RandomOracle
+from repro.functionalities.ubc import UnfairBroadcast
+from repro.protocols.common import pad_message, unpad_message
+from repro.protocols.ubc_protocol import UBCProtocolAdapter
+from repro.simulators.sbc import EquivocationAbort, SBCEquivocator
+from repro.simulators.ubc import UBCSimulator
+from repro.uc.adversary import Adversary, PassiveAdversary
+from repro.uc.environment import Environment
+from repro.uc.session import Session
+
+from tests.conftest import broadcast_action
+
+
+def _view(adversary: Adversary):
+    """The adversary's view: (source fid, detail) leak sequence."""
+    inner = adversary.inner if isinstance(adversary, UBCSimulator) else adversary
+    return [(fid, detail) for fid, detail in inner.observed]
+
+
+def _run_world(ideal: bool, inner_factory, script, seed=7, n=3):
+    inner = inner_factory()
+    if ideal:
+        adversary = UBCSimulator(inner)
+        session = Session(seed=seed, adversary=adversary)
+        service = UnfairBroadcast(session)
+    else:
+        adversary = inner
+        session = Session(seed=seed, adversary=adversary)
+        service = UBCProtocolAdapter(session)
+    parties = {
+        f"P{i}": DummyBroadcastParty(session, f"P{i}", service) for i in range(n)
+    }
+    env = Environment(session)
+    for actions in script:
+        env.run_round(actions)
+    outputs = {pid: tuple(p.outputs) for pid, p in parties.items()}
+    return adversary, outputs
+
+
+SCRIPT = [
+    [("P0", broadcast_action(b"one")), ("P1", broadcast_action(b"two"))],
+    [("P2", broadcast_action(b"three"))],
+]
+
+
+def test_simulated_view_equals_real_view_passive():
+    """Lemma 1's simulation, executably: identical passive views."""
+    real_adv, real_out = _run_world(False, PassiveAdversary, SCRIPT)
+    sim_adv, ideal_out = _run_world(True, PassiveAdversary, SCRIPT)
+    assert _view(real_adv) == _view(sim_adv)
+    assert real_out == ideal_out
+
+
+def test_simulated_view_equals_real_view_replacing():
+    """An actively-attacking adversary sees identical worlds too."""
+    factory = lambda: UBCReplaceAttack(victim="P0", replacement=b"evil")
+    real_adv, real_out = _run_world(False, factory, SCRIPT)
+    sim_adv, ideal_out = _run_world(True, factory, SCRIPT)
+    assert real_out == ideal_out
+    # The attack itself succeeded identically:
+    real_inner = real_adv
+    sim_inner = sim_adv.inner
+    assert real_inner.replaced == sim_inner.replaced == [b"one"]
+
+
+def test_simulated_view_copy_attack():
+    factory = lambda: UBCCopyAttack(attacker="P2")
+    real_adv, real_out = _run_world(False, factory, SCRIPT[:1])
+    sim_adv, ideal_out = _run_world(True, factory, SCRIPT[:1])
+    assert real_out == ideal_out
+    assert real_adv.copied == sim_adv.inner.copied
+
+
+# -- SBC equivocation ---------------------------------------------------------
+
+
+@pytest.fixture
+def equivocator(session):
+    oracle = RandomOracle(session, fid="FRO:sim", digest_size=192)
+    return SBCEquivocator(session, oracle)
+
+
+def test_commit_then_equivocate_opens_to_message(session, equivocator):
+    tag = session.fresh_tag()
+    rho, mask = equivocator.commit(tag)
+    message = pad_message(b"the real message", 192)
+    equivocator.equivocate(tag, message)
+    assert unpad_message(equivocator.open(tag)) == b"the real message"
+
+
+def test_commitment_reveals_nothing(session, equivocator):
+    """Before equivocation the transcript is independent of any message."""
+    tag = session.fresh_tag()
+    rho, mask = equivocator.commit(tag)
+    # rho and mask are fresh session randomness: no function of a message
+    # was involved (there is no message yet). Sanity: distinct per tag.
+    tag2 = session.fresh_tag()
+    rho2, mask2 = equivocator.commit(tag2)
+    assert rho != rho2 and mask != mask2
+    assert equivocator.pending() == [tag, tag2]
+
+
+def test_equivocation_abort_when_adversary_prequeried(session, equivocator):
+    """The proof's bad event: A queried ρ before the release."""
+    tag = session.fresh_tag()
+    rho, _mask = equivocator.commit(tag)
+    equivocator.oracle.query(rho, querier="A")  # adversary got there first
+    with pytest.raises(EquivocationAbort):
+        equivocator.equivocate(tag, pad_message(b"m", 192))
+
+
+def test_equivocate_idempotent(session, equivocator):
+    tag = session.fresh_tag()
+    equivocator.commit(tag)
+    message = pad_message(b"m", 192)
+    equivocator.equivocate(tag, message)
+    equivocator.equivocate(tag, message)  # second call: no-op
+    assert unpad_message(equivocator.open(tag)) == b"m"
+
+
+def test_equivocate_unknown_tag_rejected(session, equivocator):
+    with pytest.raises(KeyError):
+        equivocator.equivocate(b"nope", pad_message(b"m", 192))
+
+
+def test_equivocate_wrong_length_rejected(session, equivocator):
+    tag = session.fresh_tag()
+    equivocator.commit(tag)
+    with pytest.raises(ValueError):
+        equivocator.equivocate(tag, b"short")
+
+
+def test_many_commitments_interleaved(session, equivocator):
+    tags = [session.fresh_tag() for _ in range(5)]
+    for tag in tags:
+        equivocator.commit(tag)
+    messages = [pad_message(f"msg-{i}".encode(), 192) for i in range(5)]
+    for tag, message in zip(reversed(tags), reversed(messages)):
+        equivocator.equivocate(tag, message)
+    for i, tag in enumerate(tags):
+        assert unpad_message(equivocator.open(tag)) == f"msg-{i}".encode()
+    assert equivocator.pending() == []

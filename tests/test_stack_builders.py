@@ -1,0 +1,102 @@
+"""Stack builders: parameter validation and world wiring invariants."""
+
+import pytest
+
+from repro.core import (
+    build_durs_stack,
+    build_sbc_stack,
+    build_tle_stack,
+    build_voting_stack,
+)
+from repro.core.stacks import build_fbc_fixture
+from repro.uc.session import Session
+
+
+def test_invalid_mode_rejected():
+    for builder in (build_sbc_stack, build_tle_stack, build_durs_stack, build_voting_stack):
+        with pytest.raises(ValueError):
+            builder(mode="nonsense")
+
+
+def test_sbc_theorem2_parameter_checks():
+    # Φ must exceed the TLE delay (hybrid: delay=1 ⇒ Φ ≥ 2 ok, Φ=1 not).
+    with pytest.raises(ValueError):
+        build_sbc_stack(mode="hybrid", phi=1)
+    # Δ must exceed the leakage advantage (hybrid: 1 ⇒ Δ ≥ 2).
+    with pytest.raises(ValueError):
+        build_sbc_stack(mode="hybrid", delta=1)
+    # Composed world: delay = 3, advantage = 2 ⇒ Φ > 3, Δ > 2.
+    with pytest.raises(ValueError):
+        build_sbc_stack(mode="composed", phi=3)
+    with pytest.raises(ValueError):
+        build_sbc_stack(mode="composed", delta=2)
+
+
+def test_durs_theorem3_parameter_checks():
+    with pytest.raises(ValueError):
+        build_durs_stack(mode="hybrid", phi=5, delta=5)  # needs delta > phi
+    with pytest.raises(ValueError):
+        build_durs_stack(mode="hybrid", phi=3, delta=4, alpha=2)  # delta-phi < alpha
+
+
+def test_corollary1_defaults_satisfy_bounds():
+    stack = build_sbc_stack(mode="composed")
+    assert stack.phi > 3 and stack.delta > 2
+    assert stack.sbc.alpha == 3  # Corollary 1's α
+
+
+def test_hybrid_alpha_is_two():
+    stack = build_sbc_stack(mode="hybrid")
+    assert stack.sbc.alpha == 2
+
+
+def test_distinct_oracles_per_layer():
+    stack = build_sbc_stack(mode="composed", seed=1)
+    fids = set(stack.session.functionalities)
+    # Each layer has its own (wrapped) oracle instance:
+    assert any(f.startswith("F*RO:fbc") for f in fids)
+    assert "F*RO:tle" in fids
+    assert "FRO:sbc" in fids
+    assert "FRO:tle" in fids
+
+
+def test_fbc_fixture_oracle_sizes():
+    session = Session(seed=1)
+    fixture = build_fbc_fixture(session, q=4, msg_len=512)
+    assert fixture.oracle.digest_size == 512
+    assert fixture.fbc.msg_len == 512
+
+
+def test_tle_stack_modes_have_consistent_interface():
+    for mode in ("ideal", "hybrid", "composed"):
+        stack = build_tle_stack(mode=mode, seed=1)
+        assert hasattr(stack.tle, "delay")
+        assert callable(stack.tle.leak_fn)
+        assert stack.tle.leak_fn(5) >= 5
+
+
+def test_outputs_helper():
+    stack = build_sbc_stack(n=2, mode="ideal", seed=1)
+    assert stack.outputs() == {"P0": [], "P1": []}
+    stack.parties["P0"].broadcast(b"x")
+    stack.run_until_delivery()
+    outputs = stack.outputs()
+    assert outputs["P1"] and outputs["P1"][0][0] == "Broadcast"
+
+
+def test_delivered_before_release_is_none():
+    stack = build_sbc_stack(n=2, mode="ideal", seed=1)
+    stack.parties["P0"].broadcast(b"x")
+    stack.run_rounds(2)
+    assert stack.delivered() == {"P0": None, "P1": None}
+
+
+def test_seed_determinism_across_builds():
+    batches = []
+    for _ in range(2):
+        stack = build_sbc_stack(n=3, mode="composed", seed=77)
+        stack.parties["P0"].broadcast(b"det")
+        stack.run_until_delivery()
+        batches.append(str(stack.delivered()))
+        traces = len(stack.session.log)
+    assert batches[0] == batches[1]

@@ -1,0 +1,161 @@
+"""Time-lock encryption (Figure 7 / Figure 12, Theorem 1).
+
+Covers the ideal FTLE decision tree, the ΠTLE realization in hybrid and
+composed worlds, the delay/leak parameters of Theorem 1, and the
+cross-party decryption that ΠSBC depends on.
+"""
+
+import pytest
+
+from repro.core import build_tle_stack
+from repro.functionalities.tle import (
+    BOTTOM,
+    INVALID_TIME,
+    MORE_TIME,
+    TimeLockEncryption,
+)
+from repro.functionalities.dummy import DummyTLEParty
+from repro.uc.environment import Environment
+from repro.uc.session import Session
+
+ALL_MODES = ("ideal", "hybrid", "composed")
+
+
+# -- ideal functionality -------------------------------------------------------
+
+
+def _ideal(n=2, leak=None, delay=1, seed=1):
+    session = Session(seed=seed)
+    tle = TimeLockEncryption(session, leak=leak, delay=delay)
+    parties = {f"P{i}": DummyTLEParty(session, f"P{i}", tle) for i in range(n)}
+    return session, tle, parties, Environment(session)
+
+
+def test_negative_tau_rejected():
+    _s, tle, parties, _e = _ideal()
+    assert tle.enc(parties["P0"], b"m", -1) == BOTTOM
+
+
+def test_retrieve_respects_delay():
+    _s, tle, parties, env = _ideal(delay=2)
+    tle.enc(parties["P0"], b"m", 5)
+    assert tle.retrieve(parties["P0"]) == []
+    env.run_rounds(1)
+    assert tle.retrieve(parties["P0"]) == []
+    env.run_rounds(1)
+    triples = tle.retrieve(parties["P0"])
+    assert len(triples) == 1
+    assert triples[0][0] == b"m" and triples[0][2] == 5
+
+
+def test_retrieve_is_per_owner():
+    _s, tle, parties, env = _ideal(delay=0)
+    tle.enc(parties["P0"], b"m", 5)
+    assert tle.retrieve(parties["P1"]) == []
+
+
+def test_dec_before_tau_says_more_time():
+    _s, tle, parties, env = _ideal(delay=0)
+    tle.enc(parties["P0"], b"m", 3)
+    (_m, c, _t) = tle.retrieve(parties["P0"])[0]
+    assert tle.dec(parties["P1"], c, 3) == MORE_TIME
+    env.run_rounds(3)
+    assert tle.dec(parties["P1"], c, 3) == b"m"
+
+
+def test_dec_wrong_tau_invalid_time():
+    _s, tle, parties, env = _ideal(delay=0)
+    tle.enc(parties["P0"], b"m", 3)
+    (_m, c, _t) = tle.retrieve(parties["P0"])[0]
+    env.run_rounds(3)
+    # Asking with τ=1 < τdec=3 while Cl >= τdec: Invalid_Time.
+    assert tle.dec(parties["P1"], c, 1) == INVALID_TIME
+
+
+def test_dec_unknown_ciphertext_bottom():
+    _s, tle, parties, env = _ideal(delay=0)
+    env.run_rounds(1)
+    assert tle.dec(parties["P0"], b"garbage-ciphertext", 0) == BOTTOM
+
+
+def test_leakage_horizon():
+    """Leakage exposes exactly the plaintexts with τ ≤ leak(Cl)."""
+    _s, tle, parties, env = _ideal(leak=lambda cl: cl + 1, delay=0)
+    tle.enc(parties["P0"], b"near", 1)
+    tle.enc(parties["P0"], b"far", 10)
+    leaked = {m for m, _c, _t in tle.adv_leakage()}
+    assert leaked == {b"near"}  # τ=1 ≤ leak(0)=1; τ=10 not
+    env.run_rounds(9)
+    leaked = {m for m, _c, _t in tle.adv_leakage()}
+    assert leaked == {b"near", b"far"}
+
+
+def test_leakage_includes_corrupted_owners():
+    session, tle, parties, env = _ideal(leak=lambda cl: cl, delay=0)
+    tle.enc(parties["P0"], b"owned", 100)
+    session.corrupt("P0")
+    leaked = {m for m, _c, _t in tle.adv_leakage()}
+    assert b"owned" in leaked
+
+
+def test_conflicting_records_yield_bottom():
+    _s, tle, parties, env = _ideal(delay=0)
+    tle.adv_insert([(b"c", b"m1", 0), (b"c", b"m2", 0)])
+    assert tle.dec(parties["P0"], b"c", 0) == BOTTOM
+
+
+# -- ΠTLE across modes ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", ALL_MODES)
+def test_roundtrip_across_modes(mode):
+    stack = build_tle_stack(n=3, mode=mode, seed=5)
+    stack.enc("P0", b"secret", 8)
+    stack.run_rounds(8)
+    triples = stack.parties["P0"].retrieve()
+    assert [(m, t) for m, _c, t in triples] == [(b"secret", 8)]
+    _m, c, _t = triples[0]
+    # every party can decrypt, not just the encryptor:
+    for pid in ("P0", "P1", "P2"):
+        assert stack.parties[pid].dec(c, 8) == b"secret"
+
+
+@pytest.mark.parametrize("mode", ("hybrid", "composed"))
+def test_dec_too_early_across_modes(mode):
+    stack = build_tle_stack(n=2, mode=mode, seed=5)
+    stack.enc("P0", b"secret", 9)
+    stack.run_rounds(5)
+    triples = stack.parties["P0"].retrieve()
+    assert triples
+    _m, c, _t = triples[0]
+    assert stack.parties["P1"].dec(c, 9) == MORE_TIME
+
+
+@pytest.mark.parametrize("mode", ("hybrid", "composed"))
+def test_retrieve_delay_is_delta_plus_one(mode):
+    """Theorem 1: delay = Δ + 1."""
+    stack = build_tle_stack(n=2, mode=mode, seed=5)
+    delta = stack.tle.delta
+    stack.enc("P0", b"m", 20)
+    stack.run_rounds(delta)  # Δ rounds: not yet
+    assert stack.parties["P0"].retrieve() == []
+    stack.run_rounds(1)  # Δ + 1: there
+    assert len(stack.parties["P0"].retrieve()) == 1
+
+
+def test_multiple_concurrent_encryptions():
+    stack = build_tle_stack(n=3, mode="hybrid", seed=6)
+    stack.enc("P0", b"a", 8)
+    stack.enc("P1", b"b", 9)
+    stack.run_rounds(2)
+    stack.enc("P2", b"c", 10)
+    stack.run_rounds(8)
+    for pid, expected, tau in (("P0", b"a", 8), ("P1", b"b", 9), ("P2", b"c", 10)):
+        (_m, c, _t) = stack.parties[pid].retrieve()[0]
+        assert stack.parties["P0"].dec(c, tau) == expected
+
+
+def test_negative_tau_rejected_across_modes():
+    for mode in ALL_MODES:
+        stack = build_tle_stack(n=2, mode=mode, seed=1)
+        assert stack.enc("P0", b"m", -2) == BOTTOM

@@ -1,0 +1,124 @@
+"""FUBC vs ΠUBC (Lemma 1): matching behaviour, and UBC's unfairness."""
+
+import pytest
+
+from repro.attacks.adaptive import UBCReplaceAttack
+from repro.attacks.rushing import UBCCopyAttack
+from repro.functionalities.dummy import DummyBroadcastParty
+from repro.functionalities.ubc import UnfairBroadcast
+from repro.protocols.ubc_protocol import UBCProtocolAdapter
+from repro.uc.adversary import Adversary
+from repro.uc.environment import Environment
+from repro.uc.session import Session
+
+from tests.conftest import broadcast_action
+
+
+def _world(real: bool, seed: int = 1, n: int = 4, adversary=None):
+    session = Session(seed=seed, adversary=adversary)
+    service = (
+        UBCProtocolAdapter(session) if real else UnfairBroadcast(session)
+    )
+    parties = {
+        f"P{i}": DummyBroadcastParty(session, f"P{i}", service) for i in range(n)
+    }
+    return session, service, parties, Environment(session)
+
+
+@pytest.mark.parametrize("real", [False, True])
+def test_broadcast_delivered_to_all(real):
+    session, service, parties, env = _world(real)
+    env.run_round([("P0", broadcast_action(b"msg"))])
+    for party in parties.values():
+        assert ("Broadcast", b"msg", "P0") in party.outputs
+
+
+@pytest.mark.parametrize("real", [False, True])
+def test_multiple_messages_per_round(real):
+    _session, _service, parties, env = _world(real)
+    env.run_round(
+        [
+            ("P0", broadcast_action(b"one")),
+            ("P0", broadcast_action(b"two")),
+            ("P1", broadcast_action(b"three")),
+        ]
+    )
+    received = [m for _, m, _ in parties["P2"].outputs]
+    assert sorted(received) == [b"one", b"three", b"two"]
+
+
+@pytest.mark.parametrize("real", [False, True])
+def test_agreement(real):
+    _session, _service, parties, env = _world(real)
+    env.run_round([("P1", broadcast_action(("structured", 1)))])
+    views = {pid: tuple(party.outputs) for pid, party in parties.items()}
+    assert len(set(views.values())) == 1
+
+
+@pytest.mark.parametrize("real", [False, True])
+def test_ideal_real_outputs_identical(real):
+    """The executable content of Lemma 1: same script, same outputs."""
+    reference = None
+    session, _service, parties, env = _world(real, seed=42)
+    env.run_round([("P0", broadcast_action(b"a")), ("P2", broadcast_action(b"b"))])
+    env.run_round([("P1", broadcast_action(b"c"))])
+    outputs = {pid: [m for _, m, _ in party.outputs] for pid, party in parties.items()}
+    expected = {pid: [b"a", b"b", b"c"] for pid in parties}
+    assert {pid: sorted(v) for pid, v in outputs.items()} == expected
+
+
+@pytest.mark.parametrize("real", [False, True])
+def test_unfairness_message_leaked_before_delivery(real):
+    session, service, parties, env = _world(real)
+    if real:
+        service.broadcast(parties["P0"], b"secret")
+        leaks = [d for f, d in session.adversary.observed if d[0] == "Broadcast"]
+        assert any(b"secret" in repr(leak).encode() or leak[1] == b"secret" for leak in leaks)
+    else:
+        service.broadcast(parties["P0"], b"secret")
+        assert any(
+            d[0] == "Broadcast" and d[2] == b"secret"
+            for _f, d in session.adversary.observed
+            if isinstance(d, tuple) and len(d) == 4
+        )
+    # nothing delivered yet
+    assert parties["P1"].outputs == []
+
+
+@pytest.mark.parametrize("real", [False, True])
+def test_adaptive_replacement_succeeds(real):
+    """UBC is unfair: corrupt-after-leak replacement lands (both worlds)."""
+    attack = UBCReplaceAttack(victim="P0", replacement=b"replaced")
+    session, _service, parties, env = _world(real, adversary=attack)
+    env.run_round([("P0", broadcast_action(b"original"))])
+    assert attack.replaced == [b"original"]
+    received = [m for _, m, _ in parties["P1"].outputs]
+    assert received == [b"replaced"]
+
+
+@pytest.mark.parametrize("real", [False, True])
+def test_copy_attack_succeeds_on_ubc(real):
+    """No simultaneity at the UBC layer: the copy attack wins."""
+    attack = UBCCopyAttack(attacker="P3")
+    session, _service, parties, env = _world(real, adversary=attack)
+    env.run_round([("P0", broadcast_action(b"sealed-bid-42"))])
+    assert attack.copied == [b"sealed-bid-42"]
+    received = [m for _, m, _ in parties["P1"].outputs]
+    assert received.count(b"sealed-bid-42") == 2  # original + copy
+
+
+def test_adv_broadcast_requires_corruption():
+    session, service, parties, _env = _world(False)
+    with pytest.raises(Exception):
+        service.adv_broadcast("P0", b"x")
+
+
+def test_pending_flushed_only_on_own_tick():
+    session, service, parties, env = _world(False, n=2)
+    service.broadcast(parties["P0"], b"m")
+    assert service.pending_of("P0") == [b"m"]
+    # P1's tick does not flush P0's queue:
+    service.on_party_tick(parties["P1"])
+    assert service.pending_of("P0") == [b"m"]
+    service.on_party_tick(parties["P0"])
+    assert service.pending_of("P0") == []

@@ -1,0 +1,112 @@
+"""FVS (Figure 17), adversarial clauses: adv_vote, Allow, corruption view."""
+
+import pytest
+
+from repro.functionalities.dummy import DummyVoterParty
+from repro.functionalities.voting import VotingSystem
+from repro.uc.environment import Environment
+from repro.uc.session import Session
+
+
+def _world(phi=3, delta=2, alpha=1, n=3, seed=1, quota=1):
+    session = Session(seed=seed)
+    vs = VotingSystem(
+        session, phi=phi, delta=delta, alpha=alpha,
+        valid_votes=("a", "b"), quota=quota,
+    )
+    voters = {f"V{i}": DummyVoterParty(session, f"V{i}", vs) for i in range(n)}
+    return session, vs, voters, Environment(session)
+
+
+def test_votes_before_init_ignored():
+    session, vs, voters, env = _world()
+    assert vs.vote(voters["V0"], "a") is None  # no Init yet
+    vs.init()
+    assert vs.vote(voters["V0"], "a") is not None
+
+
+def test_adv_vote_requires_corruption():
+    session, vs, voters, env = _world()
+    vs.init()
+    with pytest.raises(Exception):
+        vs.adv_vote("V0", "a")
+    session.corrupt("V0")
+    assert vs.adv_vote("V0", "a") is not None
+
+
+def test_adv_vote_validity_checked():
+    session, vs, voters, env = _world()
+    vs.init()
+    session.corrupt("V0")
+    assert vs.adv_vote("V0", "banana") is None
+
+
+def test_allow_replaces_nonfinal_corrupted_vote():
+    session, vs, voters, env = _world()
+    vs.init()
+    tag = vs.vote(voters["V0"], "a")
+    session.corrupt("V0")
+    assert vs.adv_allow(tag, "b", "V0")
+    env.run_rounds(6)
+    results = [o for o in voters["V1"].outputs if o[0] == "Result"]
+    assert results[-1][1] == {"b": 1}
+
+
+def test_allow_rejects_honest_and_invalid():
+    session, vs, voters, env = _world()
+    vs.init()
+    tag = vs.vote(voters["V0"], "a")
+    assert not vs.adv_allow(tag, "b", "V0")  # honest voter
+    session.corrupt("V0")
+    assert not vs.adv_allow(tag, "banana", "V0")  # invalid vote value
+
+
+def test_corrupted_vote_without_allow_dropped():
+    session, vs, voters, env = _world()
+    vs.init()
+    vs.vote(voters["V0"], "a")
+    vs.vote(voters["V1"], "b")
+    session.corrupt("V0")
+    env.run_rounds(6)
+    results = [o for o in voters["V2"].outputs if o[0] == "Result"]
+    assert results[-1][1] == {"b": 1}
+
+
+def test_corruption_request_view():
+    session, vs, voters, env = _world()
+    vs.init()
+    tag = vs.vote(voters["V0"], "a")
+    assert vs.adv_corruption_request() == []
+    session.corrupt("V0")
+    view = vs.adv_corruption_request()
+    assert [(t, v) for t, v, _pid, _cl in view] == [(tag, "a")]
+
+
+def test_quota_two_keeps_two_most_recent():
+    session, vs, voters, env = _world(quota=2)
+    vs.init()
+    vs.vote(voters["V0"], "a")
+    env.run_rounds(1)
+    vs.vote(voters["V0"], "b")
+    vs.vote(voters["V0"], "a")  # three votes, quota 2: first one dropped
+    env.run_rounds(6)
+    results = [o for o in voters["V1"].outputs if o[0] == "Result"]
+    assert results[-1][1] == {"b": 1, "a": 1}
+
+
+def test_result_leak_then_delivery_order():
+    session, vs, voters, env = _world(phi=3, delta=2, alpha=1)
+    vs.init()
+    vs.vote(voters["V0"], "a")
+    env.run_rounds(7)
+    leaks = [
+        e for e in session.log.filter(kind="leak", source="FVS")
+        if e.detail and e.detail[0] == "Result"
+    ]
+    outputs = [
+        e for e in session.log.filter(kind="output")
+        if e.detail and e.detail[0] == "Result"
+    ]
+    assert leaks and outputs
+    assert leaks[0].time == 4  # t_tally - alpha = 5 - 1
+    assert min(o.time for o in outputs) == 5  # t_tally

@@ -1,0 +1,123 @@
+"""Σ-protocol proofs: completeness and soundness rejection paths."""
+
+import pytest
+
+from repro.crypto.groups import TEST_GROUP
+from repro.crypto.zkp import (
+    BallotProof,
+    ballot_prove,
+    ballot_verify,
+    cp_prove,
+    cp_verify,
+    pok_prove,
+    pok_verify,
+)
+
+G = TEST_GROUP
+
+
+def test_pok_completeness(rng):
+    x = G.random_scalar(rng)
+    y = G.power_of_g(x)
+    proof = pok_prove(G, G.g, y, x, rng)
+    assert pok_verify(G, G.g, y, proof)
+
+
+def test_pok_wrong_statement(rng):
+    x = G.random_scalar(rng)
+    proof = pok_prove(G, G.g, G.power_of_g(x), x, rng)
+    assert not pok_verify(G, G.g, G.power_of_g(x + 1), proof)
+
+
+def test_pok_nonstandard_base(rng):
+    base = G.random_element(rng)
+    x = G.random_scalar(rng)
+    proof = pok_prove(G, base, G.exp(base, x), x, rng)
+    assert pok_verify(G, base, G.exp(base, x), proof)
+
+
+def test_cp_completeness(rng):
+    x = G.random_scalar(rng)
+    b1, b2 = G.random_element(rng), G.random_element(rng)
+    proof = cp_prove(G, b1, G.exp(b1, x), b2, G.exp(b2, x), x, rng)
+    assert cp_verify(G, b1, G.exp(b1, x), b2, G.exp(b2, x), proof)
+
+
+def test_cp_unequal_logs_rejected(rng):
+    x, y = G.random_scalar(rng), G.random_scalar(rng)
+    b1, b2 = G.random_element(rng), G.random_element(rng)
+    proof = cp_prove(G, b1, G.exp(b1, x), b2, G.exp(b2, y), x, rng)
+    assert not cp_verify(G, b1, G.exp(b1, x), b2, G.exp(b2, y), proof)
+
+
+def _make_ballot(rng, vote, choices, key_base=None):
+    key_base = key_base or G.g
+    x = G.random_scalar(rng)
+    w = G.exp(key_base, x)
+    seed = G.random_element(rng)
+    ballot = G.mul(G.exp(seed, x), G.power_of_g(vote))
+    proof = ballot_prove(
+        G, seed, w, ballot, x, vote, choices, rng, key_base=key_base
+    )
+    return seed, w, ballot, proof
+
+
+def test_ballot_completeness_all_choices(rng):
+    choices = [1, 5, 25]
+    for vote in choices:
+        seed, w, ballot, proof = _make_ballot(rng, vote, choices)
+        assert ballot_verify(G, seed, w, ballot, proof, choices)
+
+
+def test_ballot_with_custom_key_base(rng):
+    base = G.random_element(rng)
+    choices = [1, 5]
+    seed, w, ballot, proof = _make_ballot(rng, 5, choices, key_base=base)
+    assert ballot_verify(G, seed, w, ballot, proof, choices, key_base=base)
+    assert not ballot_verify(G, seed, w, ballot, proof, choices)  # wrong base
+
+
+def test_ballot_vote_outside_choices_rejected(rng):
+    choices = [1, 5]
+    x = G.random_scalar(rng)
+    w = G.power_of_g(x)
+    seed = G.random_element(rng)
+    illegal = G.mul(G.exp(seed, x), G.power_of_g(7))  # vote 7 not allowed
+    with pytest.raises(ValueError):
+        ballot_prove(G, seed, w, illegal, x, 7, choices, rng)
+
+
+def test_ballot_forged_vote_value_rejected(rng):
+    choices = [1, 5]
+    seed, w, ballot, proof = _make_ballot(rng, 1, choices)
+    other = G.mul(ballot, G.power_of_g(4))  # shift vote 1 -> 5 without key
+    assert not ballot_verify(G, seed, w, other, proof, choices)
+
+
+def test_ballot_wrong_key_rejected(rng):
+    choices = [1, 5]
+    seed, _w, ballot, proof = _make_ballot(rng, 1, choices)
+    other_key = G.power_of_g(G.random_scalar(rng))
+    assert not ballot_verify(G, seed, other_key, ballot, proof, choices)
+
+
+def test_ballot_branch_count_checked(rng):
+    choices = [1, 5]
+    seed, w, ballot, proof = _make_ballot(rng, 1, choices)
+    assert not ballot_verify(G, seed, w, ballot, proof, [1, 5, 25])
+
+
+def test_ballot_tampered_branch_rejected(rng):
+    choices = [1, 5]
+    seed, w, ballot, proof = _make_ballot(rng, 1, choices)
+    a1, a2, e, s = proof.branches[0]
+    forged = BallotProof(branches=((a1, a2, e, (s + 1) % G.q),) + proof.branches[1:])
+    assert not ballot_verify(G, seed, w, ballot, forged, choices)
+
+
+def test_ballot_challenge_sum_checked(rng):
+    choices = [1, 5]
+    seed, w, ballot, proof = _make_ballot(rng, 1, choices)
+    a1, a2, e, s = proof.branches[0]
+    forged = BallotProof(branches=((a1, a2, (e + 1) % G.q, s),) + proof.branches[1:])
+    assert not ballot_verify(G, seed, w, ballot, forged, choices)
