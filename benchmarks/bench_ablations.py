@@ -102,7 +102,14 @@ def test_a2_scaling_in_n(benchmark):
     rows = once(benchmark, sweep)
     assert len({row["rounds"] for row in rows}) == 1  # constant rounds
     assert rows[-1]["ro_points"] > rows[0]["ro_points"]  # work grows in n
-    emit("A2", "Composed SBC scaling: rounds constant in n, work linearish", rows)
+    emit(
+        "A2",
+        "Composed SBC scaling: rounds constant in n, work linearish",
+        rows,
+        protocol="sbc-composed",
+        n=max(row["n"] for row in rows),
+        rounds=max(row["rounds"] for row in rows),
+    )
 
 
 def test_a3_wrapper_rate_sweep(benchmark):

@@ -59,6 +59,9 @@ def test_e4_query_counts(benchmark):
         "E4",
         "Astrolabous: enc and solve both cost q*tau queries; solve is sequential",
         rows,
+        protocol="astrolabous",
+        n=None,
+        rounds=None,
     )
 
 

@@ -67,6 +67,9 @@ def test_e8_corruption_sweep(benchmark):
         "E8",
         "Honest-majority SBC breaks at t > n/2; PiSBC holds up to t = n-1",
         rows,
+        protocol="sbc-vs-vss",
+        n=max(row.get("n", 0) for row in rows) or None,
+        rounds=None,
     )
 
 

@@ -57,6 +57,9 @@ def test_e1_rounds_and_messages(benchmark):
         "E1",
         "Dolev-Strong: rounds = t+2 (t+1 relays + decision), messages <= n^2(t+1)",
         rows,
+        protocol="dolev-strong",
+        n=max(row["n"] for row in rows),
+        rounds=max(row["relay_rounds"] for row in rows),
     )
 
 

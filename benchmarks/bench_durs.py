@@ -60,7 +60,14 @@ def test_e10_bias_rates(benchmark):
     ]
     assert naive_rate == 0.0  # attacker forced the bit in every run
     assert 0.2 <= durs_rate <= 0.8  # statistically fair
-    emit("E10", "Last-mover bias: total on the naive beacon, absent on DURS", rows)
+    emit(
+        "E10",
+        "Last-mover bias: total on the naive beacon, absent on DURS",
+        rows,
+        protocol="durs",
+        n=4,
+        rounds=None,
+    )
 
 
 def test_e10_delivery_delay(benchmark):

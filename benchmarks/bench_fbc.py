@@ -58,7 +58,14 @@ def test_e3_delivery_exactly_two_rounds(benchmark):
         return rows
 
     rows = once(benchmark, sweep)
-    emit("E3", "PiFBC delivers after exactly Delta=2 rounds for all n, q", rows)
+    emit(
+        "E3",
+        "PiFBC delivers after exactly Delta=2 rounds for all n, q",
+        rows,
+        protocol="fbc",
+        n=max(row["n"] for row in rows),
+        rounds=2,
+    )
 
 
 def test_e3_simulator_advantage_alpha_equals_two(benchmark):

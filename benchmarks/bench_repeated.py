@@ -54,7 +54,17 @@ def test_e13_amortized_periods(benchmark):
     # and per-period message cost is identical every period:
     messages = {row["messages"] for row in rows if isinstance(row["period"], int)}
     assert len(messages) == 1
-    emit("E13", "Repeated SBC periods: flat marginal cost on a shared substrate", rows)
+    emit(
+        "E13",
+        "Repeated SBC periods: flat marginal cost on a shared substrate",
+        rows,
+        protocol="sbc-repeated",
+        n=3,
+        rounds=sum(
+            row["rounds"] for row in rows if isinstance(row["rounds"], int)
+        ),
+        periods=sum(1 for row in rows if isinstance(row["period"], int)),
+    )
 
 
 def test_e13_wallclock(benchmark):

@@ -85,6 +85,9 @@ def test_e9_lineage_table(benchmark):
         "SBC lineage: rounds/messages/tolerance/composability (models + measured)",
         rows,
         columns=["model", "n", "max_t", "rounds", "messages", "composable", "adaptive"],
+        protocol="sbc-lineage",
+        n=max(row["n"] for row in rows),
+        rounds=None,
     )
 
 

@@ -46,7 +46,15 @@ def test_e6_delivery_round_constant_in_n(benchmark):
         return rows
 
     rows = once(benchmark, sweep)
-    emit("E6", "SBC delivery at exactly phi+delta, for all n and all worlds", rows)
+    emit(
+        "E6",
+        "SBC delivery at exactly phi+delta, for all n and all worlds",
+        rows,
+        protocol="sbc",
+        n=max(row["n"] for row in rows),
+        rounds=max(row["delivered_round"] for row in rows),
+        modes="ideal/hybrid/composed",
+    )
 
 
 def test_e6_phi_delta_sweep(benchmark):

@@ -62,7 +62,14 @@ def test_e7_copy_attack_rates(benchmark):
         return rows
 
     rows = once(benchmark, sweep)
-    emit("E7", "Copy attack: 100% on UBC, 0% on PiSBC (simultaneity)", rows)
+    emit(
+        "E7",
+        "Copy attack: 100% on UBC, 0% on PiSBC (simultaneity)",
+        rows,
+        protocol="sbc",
+        n=3,
+        rounds=None,
+    )
 
 
 def test_e7_ubc_trial_wallclock(benchmark):

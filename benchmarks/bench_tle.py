@@ -47,7 +47,14 @@ def test_e5_retrieve_delay_and_cross_party_dec(benchmark):
         return rows
 
     rows = once(benchmark, sweep)
-    emit("E5", "PiTLE: retrieve at Enc+Delta+1; any party decrypts at tau", rows)
+    emit(
+        "E5",
+        "PiTLE: retrieve at Enc+Delta+1; any party decrypts at tau",
+        rows,
+        protocol="tle",
+        n=3,
+        rounds=max(row["retrieve_round"] for row in rows),
+    )
 
 
 def test_e5_dec_gated_until_tau(benchmark):

@@ -57,7 +57,14 @@ def test_e2_throughput_and_equivalence(benchmark):
         return rows
 
     rows = once(benchmark, sweep)
-    emit("E2", "UBC: one-round delivery at any load; PiUBC == FUBC", rows)
+    emit(
+        "E2",
+        "UBC: one-round delivery at any load; PiUBC == FUBC",
+        rows,
+        protocol="ubc",
+        n=max(row["n"] for row in rows),
+        rounds=2,
+    )
 
 
 def test_e2_wallclock_ideal(benchmark):

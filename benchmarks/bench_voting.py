@@ -57,7 +57,14 @@ def test_e11_tally_correctness_sweep(benchmark):
         return rows
 
     rows = once(benchmark, sweep)
-    emit("E11", "PiSTVS self-tally correct for every voter/candidate mix", rows)
+    emit(
+        "E11",
+        "PiSTVS self-tally correct for every voter/candidate mix",
+        rows,
+        protocol="voting",
+        n=max(row["voters"] for row in rows),
+        rounds=None,
+    )
 
 
 def test_e11_fairness_no_early_tally(benchmark):

@@ -72,6 +72,9 @@ def test_e12_difficulty_two_unsolvable_in_one_round(benchmark):
         "E12",
         "Rushing adversary, one round of budget: difficulty 1 falls, 2 stands",
         rows,
+        protocol="wrapper",
+        n=None,
+        rounds=1,
     )
 
 

@@ -1,19 +1,31 @@
 """Shared helpers for the benchmark harness.
 
 Every benchmark regenerates one experiment from DESIGN.md's index
-(E1..E12): it sweeps the experiment's parameters, checks the paper's
+(E1..E15): it sweeps the experiment's parameters, checks the paper's
 qualitative claim as hard assertions, prints the paper-style table, and
 persists it under ``benchmarks/results/`` so the run's evidence survives
 pytest's output capture.
+
+Besides the human-readable table, every experiment emits one **uniform
+JSON record** (``results/BENCH_<experiment>.json``, schema ``bench.v1``)
+with the protocol name, party count, round count, wall time and execution
+backend — so benchmark trajectories stay comparable across PRs and
+backends.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 import sys
+import time
 from typing import Any, Dict, List, Optional, Sequence
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Wall-clock seconds of the most recent :func:`once` sweep; used as the
+#: default ``wall_time_s`` of the JSON record emitted right after it.
+_LAST_ONCE_S: Optional[float] = None
 
 
 def once(benchmark, fn):
@@ -23,7 +35,51 @@ def once(benchmark, fn):
     repeat thousands of times; a single timed pass records their cost in
     the benchmark report while ``--benchmark-only`` still selects them.
     """
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    global _LAST_ONCE_S
+    start = time.perf_counter()
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    _LAST_ONCE_S = time.perf_counter() - start
+    return result
+
+
+def bench_record(
+    experiment: str,
+    protocol: str,
+    n: Optional[int] = None,
+    rounds: Optional[int] = None,
+    wall_time_s: Optional[float] = None,
+    backend: str = "sequential",
+    **extra: Any,
+) -> Dict[str, Any]:
+    """Write the uniform per-experiment JSON record (schema ``bench.v1``).
+
+    Args:
+        experiment: Experiment id (``E6``); names the output file.
+        protocol: Protocol/system under test (``sbc``, ``tle``, ...).
+        n: Largest party count exercised.
+        rounds: Rounds driven (or None when not round-structured).
+        wall_time_s: Sweep wall time; defaults to the most recent
+            :func:`once` timing.
+        backend: Execution backend the sweep ran under.
+        extra: Free-form experiment parameters, stored under ``params``.
+    """
+    if wall_time_s is None:
+        wall_time_s = _LAST_ONCE_S
+    record: Dict[str, Any] = {
+        "schema": "bench.v1",
+        "experiment": experiment,
+        "protocol": protocol,
+        "n": n,
+        "rounds": rounds,
+        "wall_time_s": round(wall_time_s, 6) if wall_time_s is not None else None,
+        "backend": backend,
+    }
+    if extra:
+        record["params"] = extra
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{experiment}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record
 
 
 def emit(
@@ -31,12 +87,26 @@ def emit(
     title: str,
     rows: Sequence[Dict[str, Any]],
     columns: Optional[Sequence[str]] = None,
+    protocol: Optional[str] = None,
+    n: Optional[int] = None,
+    rounds: Optional[int] = None,
+    backend: str = "sequential",
+    **extra: Any,
 ) -> str:
-    """Format, print and persist one experiment table."""
+    """Format, print and persist one experiment table.
+
+    When ``protocol`` is given, also emits the experiment's uniform JSON
+    record via :func:`bench_record` (timed by the surrounding
+    :func:`once` call).
+    """
     from repro.analysis.tables import format_table
 
     table = format_table(rows, columns=columns, title=f"[{experiment}] {title}")
     print("\n" + table, file=sys.stderr)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{experiment}.txt").write_text(table + "\n")
+    if protocol is not None:
+        bench_record(
+            experiment, protocol, n=n, rounds=rounds, backend=backend, **extra
+        )
     return table

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e . --no-use-pep517 --no-build-isolation`` works in
+offline environments whose setuptools predates PEP 660 editable wheels
+(the paved path is plain ``pip install -e .``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -7,6 +7,11 @@ Usage::
     python -m repro.cli election  --voters 5 --candidates yes no
     python -m repro.cli auction   --bids 410 365 298
     python -m repro.cli lineage   --n 4 16 64
+    python -m repro.cli bench     --sessions 32 --backend pooled --compare
+
+Every protocol command accepts ``--backend`` to pick the execution
+backend (``sequential`` is the reference engine; ``pooled`` / ``batched``
+are the runtime's throughput drivers).
 """
 
 from __future__ import annotations
@@ -21,7 +26,7 @@ from repro.analysis.tables import format_table
 def _cmd_sbc(args: argparse.Namespace) -> int:
     from repro.core import build_sbc_stack
 
-    stack = build_sbc_stack(n=args.n, mode=args.mode, seed=args.seed)
+    stack = build_sbc_stack(n=args.n, mode=args.mode, seed=args.seed, backend=args.backend)
     messages = args.messages or ["hello", "world"]
     for index, text in enumerate(messages):
         stack.parties[f"P{index % args.n}"].broadcast(text.encode())
@@ -36,7 +41,7 @@ def _cmd_sbc(args: argparse.Namespace) -> int:
 def _cmd_beacon(args: argparse.Namespace) -> int:
     from repro.core import build_durs_stack
 
-    stack = build_durs_stack(n=args.n, mode=args.mode, seed=args.seed)
+    stack = build_durs_stack(n=args.n, mode=args.mode, seed=args.seed, backend=args.backend)
     stack.parties["P0"].urs_request()
     stack.run_until_urs()
     urs = stack.urs_values()["P0"]
@@ -52,6 +57,7 @@ def _cmd_election(args: argparse.Namespace) -> int:
         voters=args.voters, mode=args.mode, seed=args.seed, candidates=candidates,
         phi=max(4, 5 if args.mode == "composed" else 4),
         delta=3 if args.mode == "composed" else 2,
+        backend=args.backend,
     )
     if args.mode == "ideal":
         stack.service.init()
@@ -72,7 +78,7 @@ def _cmd_auction(args: argparse.Namespace) -> int:
     from repro.core import build_sbc_stack
 
     bids = args.bids or [410, 365, 298]
-    stack = build_sbc_stack(n=len(bids) + 1, mode=args.mode, seed=args.seed)
+    stack = build_sbc_stack(n=len(bids) + 1, mode=args.mode, seed=args.seed, backend=args.backend)
     for index, amount in enumerate(bids):
         stack.parties[f"P{index}"].broadcast(f"bid:P{index}:{amount:06d}".encode())
     stack.run_until_delivery()
@@ -86,6 +92,34 @@ def _cmd_auction(args: argparse.Namespace) -> int:
     for item in batch:
         print(f"  {item.decode()}")
     print(f"winner: {best[1]} at {best[0]}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.runtime import SessionPool, sequential_loop
+
+    params = dict(
+        n=args.n, mode=args.mode, phi=args.phi, delta=args.delta, senders=args.senders
+    )
+    pool = SessionPool(
+        backend=args.backend,
+        executor=args.executor,
+        workers=args.workers,
+        trace=args.trace,
+        **params,
+    )
+    seeds = list(range(args.seed, args.seed + args.sessions))
+    report = pool.run(seeds)
+    rows = [report.summary()]
+    if args.compare:
+        baseline = sequential_loop(seeds, **params)
+        rows.append(baseline.summary())
+        speedup = baseline.wall_time_s / report.wall_time_s
+    print(format_table(rows, title=f"SessionPool: {args.sessions} x SBC ({args.mode})"))
+    per_session = report.wall_time_s / max(report.sessions, 1)
+    print(f"per-session: {per_session * 1000:.2f} ms")
+    if args.compare:
+        print(f"speedup vs sequential loop: {speedup:.2f}x")
     return 0
 
 
@@ -105,8 +139,16 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p: argparse.ArgumentParser, modes=("ideal", "hybrid", "composed")) -> None:
+        from repro.runtime import available_backends
+
         p.add_argument("--mode", choices=modes, default="hybrid")
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--backend",
+            choices=sorted(available_backends()),
+            default="sequential",
+            help="execution backend (sequential = reference engine)",
+        )
 
     p = sub.add_parser("sbc", help="run a simultaneous-broadcast session")
     common(p)
@@ -129,6 +171,28 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--bids", nargs="*", type=int, default=None)
     p.set_defaults(func=_cmd_auction)
+
+    p = sub.add_parser("bench", help="run a pooled SBC session sweep")
+    common(p)
+    p.add_argument("--sessions", type=int, default=32, help="number of independent sessions")
+    p.add_argument("--n", type=int, default=4)
+    p.add_argument("--phi", type=int, default=5)
+    p.add_argument("--delta", type=int, default=3)
+    p.add_argument("--senders", type=int, default=2)
+    p.add_argument(
+        "--executor", choices=("inline", "thread", "process"), default="inline",
+        help="how the pool maps sessions to workers",
+    )
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument(
+        "--trace", choices=("full", "light"), default="light",
+        help="trace mode inside pooled sessions (light = no EventLog, faster)",
+    )
+    p.add_argument(
+        "--compare", action="store_true",
+        help="also run the sequential reference loop and print the speedup",
+    )
+    p.set_defaults(func=_cmd_bench, backend="pooled")
 
     p = sub.add_parser("lineage", help="print the SBC lineage comparison table")
     p.add_argument("--n", nargs="+", type=int, default=[4, 16, 64])

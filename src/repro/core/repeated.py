@@ -59,13 +59,23 @@ class RepeatedSBC:
         seed: Session seed.
         phi: Period length Φ.
         delta: Release delay ∆.
+        backend: Execution backend name/instance (default ``sequential``).
+        trace: Trace-mode override (``"full"`` / ``"light"``).
 
     The substrate (FUBC, ideal FTLE, the masking oracle) is created once;
     each :meth:`run_period` spins a fresh period adapter over it.
     """
 
-    def __init__(self, n: int = 3, seed: int = 0, phi: int = 4, delta: int = 2) -> None:
-        self.session = Session(sid="sbc-repeated", seed=seed)
+    def __init__(
+        self,
+        n: int = 3,
+        seed: int = 0,
+        phi: int = 4,
+        delta: int = 2,
+        backend=None,
+        trace=None,
+    ) -> None:
+        self.session = Session(sid="sbc-repeated", seed=seed, backend=backend, trace=trace)
         self.phi = phi
         self.delta = delta
         self.ubc = UnfairBroadcast(self.session, fid="FUBC:rep")

@@ -1,5 +1,11 @@
 """Stack builders: assemble ideal / hybrid / composed worlds.
 
+Every builder accepts ``backend=`` (name or
+:class:`~repro.runtime.backend.ExecutionBackend`) selecting the execution
+runtime for the session, and ``trace=`` to override its trace mode; the
+default (``sequential``) reproduces the reference engine byte-for-byte.
+See ARCHITECTURE.md for the full layer map.
+
 Layer plumbing (composed SBC, the Corollary 1 world)::
 
     SBCParty … SBCParty                      (top-of-stack parties)
@@ -21,7 +27,7 @@ session has its own resource budget.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.functionalities.certification import Certification
 from repro.functionalities.durs import DelayedURS
@@ -45,9 +51,13 @@ from repro.protocols.tle_protocol import TLEProtocolAdapter
 from repro.protocols.ubc_protocol import UBCProtocolAdapter
 from repro.protocols.voting_protocol import AuthorityParty, Election, VoterParty
 from repro.protocols.durs_protocol import make_durs_network
+from repro.runtime.backend import ExecutionBackend
 from repro.uc.adversary import Adversary
 from repro.uc.environment import Environment
 from repro.uc.session import Session
+
+#: A backend argument: a registry name, an instance, or None (default).
+BackendArg = Union[str, ExecutionBackend, None]
 
 #: Corollary 1 default parameters: Φ > 3, ∆ > 2, α = 3.
 SBC_DEFAULTS = {"phi": 5, "delta": 3, "q": 4}
@@ -146,6 +156,8 @@ def build_tle_stack(
     alpha: int = 2,
     msg_len: int = MSG_LEN_TLE,
     adversary: Optional[Adversary] = None,
+    backend: "BackendArg" = None,
+    trace: Optional[str] = None,
 ) -> TLEStack:
     """Build a TLE world.
 
@@ -155,7 +167,7 @@ def build_tle_stack(
         * ``composed`` — ΠTLE over ΠFBC over ideal ``FUBC`` (∆ = α = 2).
     """
     _modes(mode, ("ideal", "hybrid", "composed"))
-    session = Session(sid=f"tle-{mode}", seed=seed, adversary=adversary)
+    session = Session(sid=f"tle-{mode}", seed=seed, adversary=adversary, backend=backend, trace=trace)
     pids = [f"P{i}" for i in range(n)]
     fbc = None
     wrapper = None
@@ -239,6 +251,8 @@ def build_sbc_stack(
     q: int = SBC_DEFAULTS["q"],
     msg_len: int = MSG_LEN_SBC,
     adversary: Optional[Adversary] = None,
+    backend: "BackendArg" = None,
+    trace: Optional[str] = None,
 ) -> SBCStack:
     """Build an SBC world.
 
@@ -251,7 +265,7 @@ def build_sbc_stack(
           ΠTLE-over-ΠFBC-over-ΠUBC (α = 3, ∆ ≥ 3, Φ > 3).
     """
     _modes(mode, ("ideal", "hybrid", "composed"))
-    session = Session(sid=f"sbc-{mode}", seed=seed, adversary=adversary)
+    session = Session(sid=f"sbc-{mode}", seed=seed, adversary=adversary, backend=backend, trace=trace)
     pids = [f"P{i}" for i in range(n)]
     ubc = None
     tle = None
@@ -330,6 +344,8 @@ def build_durs_stack(
     alpha: int = 2,
     q: int = SBC_DEFAULTS["q"],
     adversary: Optional[Adversary] = None,
+    backend: "BackendArg" = None,
+    trace: Optional[str] = None,
 ) -> DURSStack:
     """Build a DURS world.
 
@@ -343,7 +359,7 @@ def build_durs_stack(
     _modes(mode, ("ideal", "hybrid", "composed"))
     if mode != "ideal" and not (delta > phi > 0 and delta - phi >= alpha):
         raise ValueError("Theorem 3 requires delta > phi > 0 and delta - phi >= alpha")
-    session = Session(sid=f"durs-{mode}", seed=seed, adversary=adversary)
+    session = Session(sid=f"durs-{mode}", seed=seed, adversary=adversary, backend=backend, trace=trace)
     pids = [f"P{i}" for i in range(n)]
     if mode == "ideal":
         durs = DelayedURS(session, delta=delta, alpha=alpha)
@@ -439,6 +455,8 @@ def build_voting_stack(
     alpha: int = 2,
     q: int = SBC_DEFAULTS["q"],
     adversary: Optional[Adversary] = None,
+    backend: "BackendArg" = None,
+    trace: Optional[str] = None,
 ) -> VotingStack:
     """Build a voting world.
 
@@ -452,7 +470,7 @@ def build_voting_stack(
           frame is widened).
     """
     _modes(mode, ("ideal", "hybrid", "composed"))
-    session = Session(sid=f"vote-{mode}", seed=seed, adversary=adversary)
+    session = Session(sid=f"vote-{mode}", seed=seed, adversary=adversary, backend=backend, trace=trace)
     voter_pids = [f"V{i}" for i in range(voters)]
     election = Election(voters=tuple(voter_pids), candidates=tuple(candidates))
     authority_parties: Dict[str, AuthorityParty] = {}

@@ -34,7 +34,9 @@ def elgamal_encrypt(
     if not group.is_member(message):
         raise ValueError("message must be a group element")
     k = group.random_scalar(rng)
-    return ElGamalCiphertext(a=group.power_of_g(k), b=group.mul(message, group.exp(public, k)))
+    return ElGamalCiphertext(
+        a=group.power_of_g(k), b=group.multi_exp(((message, 1), (public, k)))
+    )
 
 
 def elgamal_decrypt(group: SchnorrGroup, secret: int, ciphertext: ElGamalCiphertext) -> int:

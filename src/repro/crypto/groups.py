@@ -12,12 +12,49 @@ Two parameter sets ship:
   size, only on group structure);
 * :data:`GROUP_2048` — a 2048-bit MODP group (RFC 3526) for
   production-strength parameters.
+
+Acceleration layer
+------------------
+
+The group carries three caches, all mathematically transparent (every
+accelerated path returns bit-identical values to the naive formulas, so
+seeded executions are unaffected):
+
+* **fixed-base windows** — ``g``-powers dominate the signing/proving hot
+  path, so :meth:`power_of_g` uses a precomputed table of
+  :math:`g^{d \\cdot 2^{wi}}` digits (built lazily; small groups build it
+  on first use, large groups after :data:`FIXED_BASE_AUTO_CALLS` uses or
+  via an explicit :meth:`precompute_fixed_base`);
+* **simultaneous multi-exponentiation** — :meth:`multi_exp` evaluates
+  :math:`\\prod b_i^{e_i}` sharing the squaring ladder between bases
+  (Straus interleaving) when the modulus is large enough for Python-level
+  interleaving to beat repeated C ``pow``; verification equations of the
+  form ``a · y^e`` route through it;
+* **cached element encodings** — :meth:`element_to_bytes` memoises the
+  fixed-width encodings that Fiat–Shamir challenges hash over and over.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Moduli at most this many bits precompute the fixed-base table on first
+#: use (the build is ~1k multiplications — microseconds at test sizes).
+FIXED_BASE_AUTO_BITS = 512
+
+#: Larger moduli (e.g. the 2048-bit MODP group) amortise the table build
+#: only across repeated use; they switch after this many ``g``-powers.
+FIXED_BASE_AUTO_CALLS = 32
+
+#: Interleaved multi-exponentiation beats repeated C ``pow`` only once the
+#: per-multiplication cost dwarfs interpreter overhead; below this modulus
+#: size :meth:`SchnorrGroup.multi_exp` just multiplies ``pow`` results.
+MULTI_EXP_MIN_BITS = 1024
+
+#: Bound on the per-group encoding cache (entries).
+_ENCODING_CACHE_MAX = 4096
 
 
 @dataclass(frozen=True)
@@ -37,16 +74,30 @@ class SchnorrGroup:
             raise ValueError("generator does not have order q")
         if self.g in (0, 1):
             raise ValueError("degenerate generator")
+        # Acceleration state (not dataclass fields: excluded from eq/hash/repr).
+        object.__setattr__(self, "_width", (self.p.bit_length() + 7) // 8)
+        object.__setattr__(self, "_fb_table", None)
+        object.__setattr__(self, "_fb_window", 0)
+        object.__setattr__(self, "_fb_calls", 0)
+        object.__setattr__(self, "_encoding_cache", {})
 
     # -- group operations ------------------------------------------------
 
     def exp(self, base: int, exponent: int) -> int:
         """``base ** exponent mod p`` (exponent reduced mod q)."""
+        if base == self.g:
+            return self.power_of_g(exponent)
         return pow(base, exponent % self.q, self.p)
 
     def power_of_g(self, exponent: int) -> int:
-        """``g ** exponent mod p``."""
-        return self.exp(self.g, exponent)
+        """``g ** exponent mod p`` (fixed-base windowed once warmed up)."""
+        e = exponent % self.q
+        if self._fb_table is None:
+            if self.p.bit_length() > FIXED_BASE_AUTO_BITS and self._fb_calls < FIXED_BASE_AUTO_CALLS:
+                object.__setattr__(self, "_fb_calls", self._fb_calls + 1)
+                return pow(self.g, e, self.p)
+            self.precompute_fixed_base()
+        return self._fixed_base_pow(e)
 
     def mul(self, a: int, b: int) -> int:
         """Group multiplication."""
@@ -69,25 +120,165 @@ class SchnorrGroup:
         return self.power_of_g(self.random_scalar(rng))
 
     def element_to_bytes(self, a: int) -> bytes:
-        """Fixed-width big-endian encoding of a group element."""
-        width = (self.p.bit_length() + 7) // 8
-        return a.to_bytes(width, "big")
+        """Fixed-width big-endian encoding of a group element (memoised).
+
+        Fiat–Shamir challenges re-encode the same public keys, generators
+        and commitments many times per proof; the cache is bounded and
+        keyed by element value.
+        """
+        cache: Dict[int, bytes] = self._encoding_cache
+        encoded = cache.get(a)
+        if encoded is None:
+            encoded = a.to_bytes(self._width, "big")
+            if len(cache) < _ENCODING_CACHE_MAX:
+                cache[a] = encoded
+        return encoded
+
+    # -- fixed-base acceleration ------------------------------------------
+
+    def precompute_fixed_base(self, window: Optional[int] = None) -> None:
+        """Build the fixed-base window table for :meth:`power_of_g`.
+
+        Idempotent.  ``window`` is the digit width in bits; the default
+        balances table-build cost against per-exponentiation savings for
+        the group's modulus size.
+        """
+        if self._fb_table is not None:
+            return
+        w = window if window is not None else (6 if self.p.bit_length() <= 1024 else 5)
+        if w < 1:
+            raise ValueError("window must be >= 1")
+        windows = (self.q.bit_length() + w - 1) // w
+        p = self.p
+        table: List[List[int]] = []
+        base = self.g
+        for _ in range(windows):
+            row = [1] * (1 << w)
+            acc = 1
+            for digit in range(1, 1 << w):
+                acc = acc * base % p
+                row[digit] = acc
+            table.append(row)
+            base = acc * base % p  # base ** (2 ** w)
+        object.__setattr__(self, "_fb_window", w)
+        object.__setattr__(self, "_fb_table", table)
+
+    def _fixed_base_pow(self, e: int) -> int:
+        """``g ** e`` via the window table (``e`` already reduced mod q)."""
+        table = self._fb_table
+        w = self._fb_window
+        mask = (1 << w) - 1
+        p = self.p
+        result = 1
+        index = 0
+        while e:
+            digit = e & mask
+            if digit:
+                result = result * table[index][digit] % p
+            e >>= w
+            index += 1
+        return result
+
+    # -- simultaneous multi-exponentiation ----------------------------------
+
+    def multi_exp(self, pairs: Iterable[Tuple[int, int]]) -> int:
+        """:math:`\\prod_i base_i^{e_i} \\bmod p` (exponents reduced mod q).
+
+        Ballot and ZKP verification equations have the shape
+        ``a · y^e``; expressing them as ``multi_exp(((a, 1), (y, e)))``
+        lets the group share squarings between simultaneous large
+        exponentiations (Straus interleaving) where that pays off, and
+        fold generator powers into the fixed-base table.  Identical
+        results to multiplying individual :meth:`exp` outputs.
+        """
+        q = self.q
+        p = self.p
+        result = 1
+        g_exponent = 0
+        general: List[Tuple[int, int]] = []
+        for base, exponent in pairs:
+            e = exponent % q
+            if e == 0:
+                continue
+            b = base % p
+            if b == self.g:
+                g_exponent += e
+            elif e == 1:
+                result = result * b % p
+            else:
+                general.append((b, e))
+        if g_exponent:
+            result = result * self.power_of_g(g_exponent) % p
+        if len(general) >= 2 and p.bit_length() >= MULTI_EXP_MIN_BITS:
+            result = result * self._interleaved_multi_exp(general) % p
+        else:
+            for b, e in general:
+                result = result * pow(b, e, p) % p
+        return result
+
+    def _interleaved_multi_exp(self, pairs: List[Tuple[int, int]], window: int = 5) -> int:
+        """Straus: one shared squaring ladder, per-base digit tables."""
+        p = self.p
+        mask = (1 << window) - 1
+        tables: List[List[int]] = []
+        for base, _ in pairs:
+            row = [1] * (1 << window)
+            acc = 1
+            for digit in range(1, 1 << window):
+                acc = acc * base % p
+                row[digit] = acc
+            tables.append(row)
+        positions = (max(e.bit_length() for _, e in pairs) + window - 1) // window
+        result = 1
+        for index in range(positions - 1, -1, -1):
+            if result != 1:
+                for _ in range(window):
+                    result = result * result % p
+            shift = index * window
+            for (base, e), row in zip(pairs, tables):
+                digit = (e >> shift) & mask
+                if digit:
+                    result = result * row[digit] % p
+        return result
+
+    # -- small discrete logs -------------------------------------------------
 
     def discrete_log_small(self, target: int, base: Optional[int] = None, bound: int = 1 << 20) -> int:
-        """Brute-force discrete log for small exponents.
+        """Discrete log for small exponents, via baby-step/giant-step.
 
         Self-tallying elections recover the tally as the discrete log of
         :math:`g^{\\sum v_i}`, which is at most (#voters × max-vote) — tiny.
+        Runs in :math:`O(\\sqrt{bound})` group operations instead of the
+        former linear scan; returns the smallest matching exponent in
+        ``[0, bound)``, exactly as the scan did.
 
         Raises:
             ValueError: if no exponent below ``bound`` matches.
         """
         base = self.g if base is None else base
-        accumulator = 1
-        for exponent in range(bound):
-            if accumulator == target:
-                return exponent
-            accumulator = self.mul(accumulator, base)
+        if bound <= 0:
+            raise ValueError("discrete log not found below bound")
+        p = self.p
+        target = target % p
+        m = math.isqrt(bound - 1) + 1  # m * m >= bound
+        baby: Dict[int, int] = {}
+        acc = 1
+        for j in range(m):
+            baby.setdefault(acc, j)  # keep the smallest j per value
+            acc = acc * base % p
+        # acc == base ** m; walk giant steps target, target/acc, ...
+        giant: Optional[int] = None
+        gamma = target
+        for i in range((bound + m - 1) // m):
+            j = baby.get(gamma)
+            if j is not None and i * m + j < bound:
+                return i * m + j
+            if giant is None:
+                try:
+                    giant = self.inv(acc)
+                except ValueError:
+                    break  # base not invertible mod p: nothing beyond baby steps
+            gamma = gamma * giant % p
         raise ValueError("discrete log not found below bound")
 
 

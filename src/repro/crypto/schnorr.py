@@ -65,5 +65,5 @@ def schnorr_verify(
         return False
     e = _challenge(group, signature.r, public, message)
     lhs = group.power_of_g(signature.s)
-    rhs = group.mul(signature.r, group.exp(public, e))
+    rhs = group.multi_exp(((signature.r, 1), (public, e)))
     return lhs == rhs

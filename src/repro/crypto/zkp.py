@@ -58,7 +58,7 @@ def pok_verify(group: SchnorrGroup, base: int, public: int, proof: SchnorrProof)
     if not group.is_member(proof.a):
         return False
     e = _fs_challenge(group, base, public, proof.a, domain=b"pok")
-    return group.exp(base, proof.s) == group.mul(proof.a, group.exp(public, e))
+    return group.exp(base, proof.s) == group.multi_exp(((proof.a, 1), (public, e)))
 
 
 # ---------------------------------------------------------------------------
@@ -107,8 +107,8 @@ def cp_verify(
     e = _fs_challenge(
         group, base1, public1, base2, public2, proof.a1, proof.a2, domain=b"cp"
     )
-    ok1 = group.exp(base1, proof.s) == group.mul(proof.a1, group.exp(public1, e))
-    ok2 = group.exp(base2, proof.s) == group.mul(proof.a2, group.exp(public2, e))
+    ok1 = group.exp(base1, proof.s) == group.multi_exp(((proof.a1, 1), (public1, e)))
+    ok2 = group.exp(base2, proof.s) == group.multi_exp(((proof.a2, 1), (public2, e)))
     return ok1 and ok2
 
 
@@ -223,8 +223,8 @@ def ballot_verify(
         return False
     for (a1, a2, e, s), choice in zip(proof.branches, choices):
         public1, public2 = _ballot_statement(group, seed, w, ballot, choice)
-        if group.exp(key_base, s) != group.mul(a1, group.exp(public1, e)):
+        if group.exp(key_base, s) != group.multi_exp(((a1, 1), (public1, e))):
             return False
-        if group.exp(seed, s) != group.mul(a2, group.exp(public2, e)):
+        if group.exp(seed, s) != group.multi_exp(((a2, 1), (public2, e))):
             return False
     return True

@@ -11,7 +11,7 @@ Dolev–Strong builds on.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, List, Tuple
+from typing import TYPE_CHECKING, Any
 
 from repro.uc.entity import Functionality, Party
 
@@ -20,12 +20,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class SyncNetwork(Functionality):
-    """Round-synchronous authenticated channels with next-round delivery."""
+    """Round-synchronous authenticated channels with next-round delivery.
+
+    Queued messages live in the session's
+    :class:`~repro.runtime.scheduler.BatchScheduler` under this
+    functionality's fid; the round-advance hook drains them as one batch
+    (global FIFO under the default backend, grouped per recipient under
+    the ``batched`` backend).
+    """
 
     def __init__(self, session: "Session", fid: str = "Net") -> None:
         super().__init__(session, fid)
-        # messages queued for delivery when the round advances
-        self._queue: List[Tuple[str, str, Any]] = []  # (sender, recipient, payload)
 
     # -- sending -----------------------------------------------------------
 
@@ -44,20 +49,26 @@ class SyncNetwork(Functionality):
         self._enqueue(pid, recipient, payload)
 
     def _enqueue(self, sender: str, recipient: str, payload: Any) -> None:
-        self._queue.append((sender, recipient, payload))
+        self.session.scheduler.enqueue(self.fid, recipient, (sender, payload))
         self.session.metrics.count_message("p2p")
         # Rushing adversary: sees traffic *metadata* the moment it is sent.
         # Channels are secure (authenticated + private): content reaches
         # the adversary only for corrupted recipients, via delivery.
         self.leak(("Sent", sender, recipient))
 
+    # -- queries ------------------------------------------------------------
+
+    def pending(self) -> int:
+        """Messages queued for delivery at the next round advance."""
+        return self.session.scheduler.pending(self.fid)
+
     # -- delivery ------------------------------------------------------------
 
     def on_round_advanced(self, new_time: int) -> None:
-        """Deliver last round's queue (FIFO per recipient)."""
-        queue, self._queue = self._queue, []
-        for sender, recipient, payload in queue:
-            party = self.session.parties.get(recipient)
+        """Deliver last round's queue in one batch (FIFO per recipient)."""
+        parties = self.session.parties
+        for recipient, (sender, payload) in self.session.scheduler.drain(self.fid):
+            party = parties.get(recipient)
             if party is None:
                 continue
             self.deliver(party, ("P2P", payload, sender))

@@ -1,0 +1,63 @@
+"""Pluggable UC execution runtime.
+
+The runtime separates *what* a protocol does (parties, functionalities,
+the clock — :mod:`repro.uc`) from *how* an execution is driven:
+
+* :class:`~repro.runtime.backend.ExecutionBackend` — a named bundle of
+  round driver, scheduler drain policy and trace mode (``sequential``,
+  ``pooled``, ``batched``);
+* :class:`~repro.runtime.driver.RoundDriver` — the round loop behind
+  :class:`~repro.uc.environment.Environment` and every stack builder;
+* :class:`~repro.runtime.scheduler.BatchScheduler` — per-round message
+  queues drained in batches instead of per-message callbacks;
+* :class:`~repro.runtime.pool.SessionPool` — N independent sessions
+  (seed sweeps, repeated executions) through one driver, inline or via
+  ``concurrent.futures`` workers.
+
+The ``sequential`` backend is the default everywhere and reproduces the
+pre-runtime engine byte-for-byte (same seed, same trace).
+"""
+
+from repro.runtime.backend import (
+    BATCHED,
+    POOLED,
+    SEQUENTIAL,
+    ExecutionBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.runtime.driver import (
+    BatchedRoundDriver,
+    RoundDriver,
+    SequentialRoundDriver,
+)
+from repro.runtime.pool import (
+    PoolReport,
+    SessionPool,
+    TrialResult,
+    run_sbc_trial,
+    sequential_loop,
+    trace_digest,
+)
+from repro.runtime.scheduler import BatchScheduler
+
+__all__ = [
+    "BATCHED",
+    "BatchScheduler",
+    "BatchedRoundDriver",
+    "ExecutionBackend",
+    "POOLED",
+    "PoolReport",
+    "RoundDriver",
+    "SEQUENTIAL",
+    "SequentialRoundDriver",
+    "SessionPool",
+    "TrialResult",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "run_sbc_trial",
+    "sequential_loop",
+    "trace_digest",
+]

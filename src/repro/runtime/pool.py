@@ -1,0 +1,226 @@
+"""Session pools: run N independent sessions through one driver.
+
+Benchmarks and repeated-execution experiments (the [FKL08] workload) need
+many independent executions — same protocol, different seeds or configs.
+:class:`SessionPool` owns that loop: it maps a picklable *trial runner*
+over a seed list, either inline (one driver, warm interpreter and crypto
+tables) or via ``concurrent.futures`` workers, and collects uniform
+:class:`TrialResult` records including a deterministic trace digest so
+pooled and sequential runs can be byte-compared.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.runtime.backend import ExecutionBackend, get_backend
+
+
+def trace_digest(log) -> str:
+    """Deterministic SHA-256 digest of an :class:`~repro.uc.trace.EventLog`.
+
+    Hashes the ``(seq, time, kind, source, detail)`` tuples in execution
+    order; two sessions with byte-identical traces digest equally, across
+    processes (event details are reprs of ints/bytes/strings/tuples only).
+
+    Returns ``""`` for a trace-off (``light``) log — a constant hash there
+    would make distinct executions compare equal, which is exactly the
+    false positive a digest consumer must never see.
+    """
+    from repro.uc.trace import NullEventLog
+
+    if isinstance(log, NullEventLog):
+        return ""
+    h = hashlib.sha256()
+    for event in log:
+        h.update(repr((event.seq, event.time, event.kind, event.source, event.detail)).encode())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Picklable summary of one pooled session execution.
+
+    Attributes:
+        seed: The session seed this trial ran under.
+        wall_time_s: Wall-clock seconds for build + run.
+        rounds: Rounds the global clock advanced.
+        messages: Total messages counted by the session metrics.
+        digest: Trace digest (empty string when tracing is off).
+        outputs: Compact, picklable summary of the protocol outputs.
+    """
+
+    seed: int
+    wall_time_s: float
+    rounds: int
+    messages: int
+    digest: str
+    outputs: Any = None
+
+
+def run_sbc_trial(
+    seed: int,
+    n: int = 3,
+    mode: str = "hybrid",
+    phi: int = 4,
+    delta: int = 2,
+    senders: int = 1,
+    backend: Union[str, ExecutionBackend] = "pooled",
+    trace: Optional[str] = None,
+) -> TrialResult:
+    """Run one full SBC session end to end and summarise it.
+
+    Module-level (hence picklable) so :class:`SessionPool` can dispatch it
+    to ``concurrent.futures`` process workers.
+    """
+    from repro.core.stacks import build_sbc_stack
+
+    start = time.perf_counter()
+    stack = build_sbc_stack(
+        n=n, mode=mode, seed=seed, phi=phi, delta=delta, backend=backend, trace=trace
+    )
+    for index in range(senders):
+        stack.parties[f"P{index % n}"].broadcast(f"m{seed}-{index}".encode())
+    stack.run_until_delivery()
+    elapsed = time.perf_counter() - start
+    delivered = stack.delivered()
+    return TrialResult(
+        seed=seed,
+        wall_time_s=elapsed,
+        rounds=stack.session.metrics.get("rounds.advanced"),
+        messages=stack.session.metrics.get("messages.total"),
+        digest=trace_digest(stack.session.log),
+        outputs=repr(delivered["P0"]),
+    )
+
+
+@dataclass
+class PoolReport:
+    """Aggregate view over one :meth:`SessionPool.run`."""
+
+    backend: str
+    executor: str
+    wall_time_s: float
+    results: List[TrialResult] = field(default_factory=list)
+
+    @property
+    def sessions(self) -> int:
+        return len(self.results)
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(result.rounds for result in self.results)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(result.messages for result in self.results)
+
+    def summary(self) -> Dict[str, Any]:
+        """Uniform record for benchmark JSON emission."""
+        return {
+            "backend": self.backend,
+            "executor": self.executor,
+            "sessions": self.sessions,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "rounds": self.total_rounds,
+            "messages": self.total_messages,
+        }
+
+
+class SessionPool:
+    """Run many independent sessions (different seeds) through one driver.
+
+    Args:
+        runner: ``runner(seed, **kwargs) -> TrialResult`` (or any picklable
+            result).  Must be a module-level callable for process workers.
+        backend: Execution backend applied inside each session; forwarded
+            to ``runner`` as ``backend=`` unless the runner opts out.
+        executor: ``"inline"`` (default: one warm driver, no worker
+            overhead), ``"thread"`` or ``"process"`` for
+            ``concurrent.futures`` fan-out.  Process workers only pay off
+            with real cores and chunky sessions.
+        workers: Worker count for the concurrent executors.
+        trace: Optional trace-mode override forwarded to the runner
+            (``"light"`` turns the EventLog off for throughput runs).
+    """
+
+    def __init__(
+        self,
+        runner: Callable[..., TrialResult] = run_sbc_trial,
+        backend: Union[str, ExecutionBackend] = "pooled",
+        executor: str = "inline",
+        workers: Optional[int] = None,
+        trace: Optional[str] = None,
+        **runner_kwargs: Any,
+    ) -> None:
+        if executor not in ("inline", "thread", "process"):
+            raise ValueError(f"executor must be inline/thread/process, got {executor!r}")
+        self.runner = runner
+        self.backend = get_backend(backend)
+        self.executor = executor
+        self.workers = workers
+        self.trace = trace
+        self.runner_kwargs = dict(runner_kwargs)
+
+    def _call_kwargs(self) -> Dict[str, Any]:
+        kwargs = dict(self.runner_kwargs)
+        # Forward the backend *instance* (frozen dataclass, picklable), not
+        # its name: with_trace() overrides and unregistered custom backends
+        # must survive the trip into the runner.
+        kwargs.setdefault("backend", self.backend)
+        if self.trace is not None:
+            kwargs.setdefault("trace", self.trace)
+        return kwargs
+
+    def run(self, seeds: Iterable[int]) -> PoolReport:
+        """Execute one trial per seed; returns the aggregate report."""
+        seeds = list(seeds)
+        kwargs = self._call_kwargs()
+        start = time.perf_counter()
+        if self.executor == "inline":
+            results = [self.runner(seed, **kwargs) for seed in seeds]
+        else:
+            import concurrent.futures as futures
+            import functools
+
+            pool_cls = (
+                futures.ThreadPoolExecutor
+                if self.executor == "thread"
+                else futures.ProcessPoolExecutor
+            )
+            bound = functools.partial(self.runner, **kwargs)
+            with pool_cls(max_workers=self.workers) as pool:
+                results = list(pool.map(bound, seeds))
+        elapsed = time.perf_counter() - start
+        return PoolReport(
+            backend=self.backend.name,
+            executor=self.executor,
+            wall_time_s=elapsed,
+            results=results,
+        )
+
+
+def sequential_loop(
+    seeds: Sequence[int],
+    runner: Callable[..., TrialResult] = run_sbc_trial,
+    **runner_kwargs: Any,
+) -> PoolReport:
+    """The naive baseline: a plain loop on the reference backend.
+
+    This is what benchmarks compare :class:`SessionPool` against — each
+    session cold-started under the ``sequential`` backend with full
+    tracing, exactly as the pre-runtime engine ran them.
+    """
+    runner_kwargs.setdefault("backend", "sequential")
+    start = time.perf_counter()
+    results = [runner(seed, **runner_kwargs) for seed in seeds]
+    elapsed = time.perf_counter() - start
+    return PoolReport(
+        backend="sequential",
+        executor="loop",
+        wall_time_s=elapsed,
+        results=list(results),
+    )

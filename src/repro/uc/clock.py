@@ -14,7 +14,7 @@ explicitly guarantees).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Set
+from typing import TYPE_CHECKING, FrozenSet, Set
 
 from repro.uc.errors import UnknownEntity
 
@@ -77,12 +77,10 @@ class GlobalClock:
         self._ticked.discard(pid)
         self._maybe_advance()
 
-    def _expected(self) -> Set[str]:
-        return {
-            pid
-            for pid in self._session.parties
-            if not self._session.is_corrupted(pid)
-        }
+    def _expected(self) -> FrozenSet[str]:
+        # Cached on the session and invalidated on registration/corruption;
+        # rebuilding this set per tick made round advancement O(n^2).
+        return self._session.honest_pids
 
     def _maybe_advance(self) -> bool:
         expected = self._expected()

@@ -11,37 +11,56 @@ provides the common driving pattern used throughout the paper's figures:
 The adversary's hooks fire synchronously during both phases, so adaptive
 mid-round corruption is exercised simply by running an adversary whose
 ``on_leak`` corrupts.
+
+The round loop itself lives in :mod:`repro.runtime.driver`; the
+environment delegates to the :class:`~repro.runtime.driver.RoundDriver`
+selected by the session's execution backend, so alternative execution
+strategies (batched activation, pooled sweeps) plug in without changing
+any environment script.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, Optional, Sequence
 
+from repro.runtime.driver import Action, RoundDriver
 from repro.uc.session import Session
 
-#: An input action: apply the callable to the named party's machine.
-Action = Tuple[str, Callable[[Any], Any]]
+__all__ = ["Action", "Environment"]
 
 
 class Environment:
-    """Round driver for a session.
+    """Round driver facade for a session.
 
     Args:
         session: The session to drive.
         order: Default activation order for ``Advance_Clock`` (party ids);
             defaults to registration order.
+        driver: Explicit round driver; defaults to the one selected by
+            ``session.backend``.
     """
 
-    def __init__(self, session: Session, order: Optional[Sequence[str]] = None) -> None:
+    def __init__(
+        self,
+        session: Session,
+        order: Optional[Sequence[str]] = None,
+        driver: Optional[RoundDriver] = None,
+    ) -> None:
         self.session = session
-        self.order = list(order) if order is not None else None
+        self.driver = driver if driver is not None else session.backend.make_driver(
+            session, order=order
+        )
+        if driver is not None and order is not None:
+            self.driver.order = list(order)
 
-    def _activation_order(self, order: Optional[Sequence[str]]) -> List[str]:
-        if order is not None:
-            return list(order)
-        if self.order is not None:
-            return list(self.order)
-        return list(self.session.parties)
+    @property
+    def order(self) -> Optional[Sequence[str]]:
+        """Default activation order (proxied to the driver)."""
+        return self.driver.order
+
+    @order.setter
+    def order(self, value: Optional[Sequence[str]]) -> None:
+        self.driver.order = list(value) if value is not None else None
 
     def run_round(
         self,
@@ -56,27 +75,11 @@ class Environment:
                 inputs are the adversary's business).
             order: Activation order for this round's ``Advance_Clock``.
         """
-        for pid, action in actions:
-            party = self.session.party(pid)
-            if party.corrupted:
-                continue
-            action(party)
-        for pid in self._activation_order(order):
-            party = self.session.party(pid)
-            if party.corrupted:
-                continue
-            self.session.adversary.on_party_activated(party)
-            if party.corrupted:
-                # on_party_activated may have corrupted it.
-                continue
-            party.advance_clock()
-        return self.session.clock.time
+        return self.driver.run_round(actions, order=order)
 
     def run_rounds(self, count: int, order: Optional[Sequence[str]] = None) -> int:
         """Run ``count`` empty rounds (clock ticks only)."""
-        for _ in range(count):
-            self.run_round((), order=order)
-        return self.session.clock.time
+        return self.driver.run_rounds(count, order=order)
 
     def run_until(
         self,
@@ -91,10 +94,4 @@ class Environment:
                 ``max_rounds`` rounds (a liveness failure in the system
                 under test).
         """
-        for _ in range(max_rounds):
-            if predicate(self.session):
-                return self.session.clock.time
-            self.run_round((), order=order)
-        if predicate(self.session):
-            return self.session.clock.time
-        raise RuntimeError(f"predicate not satisfied within {max_rounds} rounds")
+        return self.driver.run_until(predicate, max_rounds=max_rounds, order=order)

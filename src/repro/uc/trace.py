@@ -84,3 +84,18 @@ class EventLog:
         """Return the latest event of the given kind, or ``None``."""
         matches = self.filter(kind=kind, **kwargs)
         return matches[-1] if matches else None
+
+
+@dataclass
+class NullEventLog(EventLog):
+    """A trace sink that records nothing (the ``light`` trace mode).
+
+    Throughput-oriented backends use it to elide per-event allocation in
+    sessions whose trace nobody will read (seed sweeps, pooled
+    benchmarks).  Protocol behaviour is unaffected — the log is
+    write-only state — but trace-based assertions obviously cannot run
+    against it.
+    """
+
+    def record(self, time: int, kind: str, source: str, detail: Any = None) -> None:
+        return None
