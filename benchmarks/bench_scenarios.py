@@ -1,0 +1,58 @@
+"""E16 — the adversarial scenario matrix as a regenerable experiment.
+
+Claims: (i) every cell of the default conformance matrix (stacks ×
+adversaries × fault patterns × backends, plus the targeted timing
+scenarios) satisfies its paper-derived property expectations; (ii) each
+cell's event trace is identical across the full-trace backends, even
+mid-attack; (iii) the whole sweep is cheap enough to regenerate on every
+run — adversarial conformance as a standing benchmark, not a one-off.
+"""
+
+from collections import defaultdict
+
+from conftest import emit, once
+
+from repro.scenarios import default_matrix, extra_scenarios, run_matrix
+
+MATRIX = default_matrix()
+
+
+def test_e16_scenario_matrix_conformance(benchmark):
+    def sweep():
+        specs = MATRIX.expand() + extra_scenarios()
+        report = run_matrix(specs)
+        assert report.ok, [cell.cell_id for cell in report.failures]
+        assert report.backend_mismatches() == []
+        return report
+
+    report = once(benchmark, sweep)
+
+    per_stack = defaultdict(lambda: {"cells": 0, "rounds": 0, "checks": 0})
+    for cell in report.cells:
+        bucket = per_stack[cell.stack]
+        bucket["cells"] += 1
+        bucket["rounds"] += cell.rounds
+        bucket["checks"] += len(cell.properties)
+    rows = [
+        {
+            "stack": stack,
+            "cells": bucket["cells"],
+            "rounds": bucket["rounds"],
+            "property_checks": bucket["checks"],
+            "all_ok": "yes",
+        }
+        for stack, bucket in sorted(per_stack.items())
+    ]
+    emit(
+        "E16",
+        "Adversarial scenario matrix: every paper property where it must hold",
+        rows,
+        protocol="scenarios",
+        n=max(spec.n for spec in MATRIX.expand()),
+        rounds=sum(cell.rounds for cell in report.cells),
+        backend="sequential+pooled",
+        cells=len(report.cells),
+        stacks=len(MATRIX.stacks),
+        adversaries=len(MATRIX.adversaries),
+        faults=len(MATRIX.faults),
+    )

@@ -17,13 +17,20 @@ Module               What it attacks / demonstrates
 """
 
 from repro.attacks.rushing import SBCCopyAttack, UBCCopyAttack
-from repro.attacks.adaptive import FBCReplaceAttack, OutputRequestProbe, UBCReplaceAttack
+from repro.attacks.adaptive import (
+    FBCReplaceAttack,
+    LockedReplaceAttack,
+    OutputRequestProbe,
+    UBCReplaceAttack,
+)
 from repro.attacks.bias import BiasingContributor
 
 __all__ = [
     "BiasingContributor",
     "FBCReplaceAttack",
+    "LockedReplaceAttack",
     "OutputRequestProbe",
     "SBCCopyAttack",
     "UBCCopyAttack",
+    "UBCReplaceAttack",
 ]

@@ -111,6 +111,66 @@ class FBCReplaceAttack(Adversary):
         self._try_replacements()
 
 
+class LockedReplaceAttack(Adversary):
+    """Read first, replace after: the losing side of the FBC lock.
+
+    The strategy polls ``Output_Request`` for every observed tag.  The
+    moment a tag reveals (at ``∆ − α``) the functionality locks it; the
+    attack then corrupts the victim and attempts ``Allow`` — which the
+    lock must reject, *even though the sender is now corrupted and the
+    message not yet delivered*.  This is Figure 10's fairness boundary
+    from the attacker's side: reading the value and replacing it are
+    mutually exclusive.
+
+    Attributes:
+        revealed: Values obtained via ``Output_Request`` (lock moments).
+        attempts: ``Allow`` calls issued against the victim's tags.
+        successes: ``Allow`` calls accepted (fairness demands zero).
+    """
+
+    def __init__(self, victim: str, replacement: Any) -> None:
+        super().__init__()
+        self.victim = victim
+        self.replacement = replacement
+        self.revealed: List[Any] = []
+        self.attempts = 0
+        self.successes = 0
+        self._pending: List[Any] = []  # [source, tag]
+
+    def on_leak(self, source, detail) -> None:
+        super().on_leak(source, detail)
+        if (
+            isinstance(detail, tuple)
+            and len(detail) == 3
+            and detail[0] == "Broadcast"
+            and hasattr(source, "adv_output_request")
+        ):
+            self._pending.append([source, detail[1]])
+
+    def _poll(self) -> None:
+        for entry in list(self._pending):
+            source, tag = entry
+            record = source.adv_output_request(tag)
+            if record is None:
+                continue
+            self._pending.remove(entry)
+            _tag, message, sender, _requested_at = record
+            self.revealed.append(message)
+            if sender != self.victim:
+                continue
+            if self.victim not in self.corrupted_parties:
+                self.corrupt(self.victim)
+            self.attempts += 1
+            if source.adv_allow(tag, self.replacement, self.victim):
+                self.successes += 1
+
+    def on_round_advanced(self, new_time: int) -> None:
+        self._poll()
+
+    def on_party_activated(self, party) -> None:
+        self._poll()
+
+
 class OutputRequestProbe(Adversary):
     """Measure the simulator advantage α of a fair-broadcast channel.
 

@@ -120,7 +120,109 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"per-session: {per_session * 1000:.2f} ms")
     if args.compare:
         print(f"speedup vs sequential loop: {speedup:.2f}x")
+        if args.trace == "full":
+            from repro.runtime import reports_match
+
+            matched = reports_match(report, baseline)
+            print(f"trace digests match sequential reference: "
+                  f"{'yes' if matched else 'NO'}")
+            if not matched:
+                return 1
+        else:
+            # A trace-off sweep has no digests; saying nothing would look
+            # like a vacuous pass (see runtime.pool.compare_trace_digests).
+            print("trace digests: not compared (sweep ran trace-off; "
+                  "use --trace full to verify determinism)")
     return 0
+
+
+def _scenario_specs(args: argparse.Namespace):
+    from repro.scenarios import default_matrix, extra_scenarios
+
+    specs = default_matrix(seed=args.seed).expand() + extra_scenarios(seed=args.seed)
+    if args.backend:
+        specs = [spec for spec in specs if spec.backend == args.backend]
+    if args.cell:
+        specs = [spec for spec in specs if args.cell in spec.cell_id]
+    return specs
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenarios import run_matrix
+
+    specs = _scenario_specs(args)
+    if not specs:
+        print("no scenarios match the given filters", file=sys.stderr)
+        return 2
+
+    if args.action == "list":
+        if args.json:
+            print(json.dumps(
+                [
+                    {
+                        "cell": spec.cell_id,
+                        "stack": spec.stack,
+                        "adversary": spec.adversary,
+                        "fault": spec.faults.name,
+                        "backend": spec.backend,
+                        "expect": spec.expectations(),
+                    }
+                    for spec in specs
+                ],
+                indent=2,
+            ))
+        else:
+            rows = [
+                {
+                    "cell": spec.cell_id,
+                    "expected properties": " ".join(
+                        f"{name}={'T' if must else 'F'}"
+                        for name, must in spec.expect
+                    ),
+                }
+                for spec in specs
+            ]
+            print(format_table(rows, title=f"{len(specs)} scenario cells"))
+        return 0
+
+    report = run_matrix(specs, executor=args.executor, workers=args.workers)
+    mismatches = report.backend_mismatches()
+    if args.json:
+        print(json.dumps(
+            {
+                "summary": report.summary(),
+                "backend_mismatches": mismatches,
+                "cells": [cell.summary() for cell in report.cells],
+            },
+            indent=2,
+        ))
+    else:
+        rows = []
+        for cell in report.cells:
+            failed = " ".join(
+                f"{p.name}({p.holds}!={p.expected})" for p in cell.mismatches
+            )
+            rows.append(
+                {
+                    "cell": cell.cell_id,
+                    "rounds": cell.rounds,
+                    "ok": "yes" if cell.ok else "NO",
+                    "mismatched": failed or "-",
+                }
+            )
+        print(format_table(
+            rows,
+            title=f"scenario matrix: {len(report.cells)} cells "
+            f"({report.wall_time_s:.2f}s, {args.executor})",
+        ))
+        summary = report.summary()
+        print(f"ok {summary['ok']}/{summary['cells']}  "
+              f"backend digest mismatches: {len(mismatches)}")
+        for line in mismatches:
+            print(f"  digest mismatch: {line}")
+    return 0 if report.ok and not mismatches else 1
 
 
 def _cmd_lineage(args: argparse.Namespace) -> int:
@@ -193,6 +295,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the sequential reference loop and print the speedup",
     )
     p.set_defaults(func=_cmd_bench, backend="pooled")
+
+    p = sub.add_parser(
+        "scenarios",
+        help="list or run the adversarial scenario conformance matrix",
+    )
+    p.add_argument("action", choices=("list", "run"))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--backend", default=None,
+        help="restrict cells to one execution backend (default: all axes)",
+    )
+    p.add_argument(
+        "--cell", default=None, metavar="SUBSTR",
+        help="restrict to cells whose id contains SUBSTR (e.g. 'sbc-composed/')",
+    )
+    p.add_argument(
+        "--executor", choices=("inline", "thread", "process"), default="inline",
+        help="how the matrix maps cells to workers",
+    )
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--json", action="store_true", help="emit JSON records")
+    p.set_defaults(func=_cmd_scenarios)
 
     p = sub.add_parser("lineage", help="print the SBC lineage comparison table")
     p.add_argument("--n", nargs="+", type=int, default=[4, 16, 64])

@@ -35,7 +35,10 @@ from repro.runtime.driver import (
 from repro.runtime.pool import (
     PoolReport,
     SessionPool,
+    TraceDigestUnavailable,
     TrialResult,
+    compare_trace_digests,
+    reports_match,
     run_sbc_trial,
     sequential_loop,
     trace_digest,
@@ -53,10 +56,13 @@ __all__ = [
     "SEQUENTIAL",
     "SequentialRoundDriver",
     "SessionPool",
+    "TraceDigestUnavailable",
     "TrialResult",
     "available_backends",
+    "compare_trace_digests",
     "get_backend",
     "register_backend",
+    "reports_match",
     "run_sbc_trial",
     "sequential_loop",
     "trace_digest",

@@ -40,6 +40,50 @@ def trace_digest(log) -> str:
     return h.hexdigest()
 
 
+class TraceDigestUnavailable(ValueError):
+    """Both sides of a digest comparison ran trace-off (``light``) mode.
+
+    An empty digest means "no trace was kept", so ``"" == ""`` says
+    nothing about the two executions — a comparison that would silently
+    pass for *any* pair of runs must error instead.
+    """
+
+
+def compare_trace_digests(left: str, right: str) -> bool:
+    """Compare two :func:`trace_digest` values, refusing vacuous equality.
+
+    Returns whether the digests match.  A one-sided empty digest simply
+    compares unequal (one run kept a trace, the other did not).
+
+    Raises:
+        TraceDigestUnavailable: both digests are empty — both executions
+            ran trace-off, so equality would be meaningless.
+    """
+    if not left and not right:
+        raise TraceDigestUnavailable(
+            "both digests are empty (trace-off executions); rerun under a "
+            "full-trace backend or compare protocol outputs instead"
+        )
+    return left == right
+
+
+def reports_match(left: "PoolReport", right: "PoolReport") -> bool:
+    """Seed-for-seed digest comparison of two pool reports.
+
+    Raises:
+        ValueError: the reports cover different numbers of trials.
+        TraceDigestUnavailable: any trial pair is empty on both sides.
+    """
+    if len(left.results) != len(right.results):
+        raise ValueError(
+            f"reports cover {len(left.results)} vs {len(right.results)} trials"
+        )
+    return all(
+        compare_trace_digests(a.digest, b.digest)
+        for a, b in zip(left.results, right.results)
+    )
+
+
 @dataclass(frozen=True)
 class TrialResult:
     """Picklable summary of one pooled session execution.

@@ -1,0 +1,67 @@
+"""Declarative adversarial scenarios and the trace-property conformance suite.
+
+The paper's claims (simultaneity, the FBC lock at ``∆ − α``, UBC
+unfairness) are *adversarial* properties: each one says what an attacker
+can or cannot achieve.  This package turns the hand-written attack tests
+into data:
+
+* :class:`~repro.scenarios.spec.ScenarioSpec` — one cell: a stack, an
+  adversary strategy from :mod:`repro.attacks`, a
+  :class:`~repro.scenarios.faults.FaultPlan` and an execution backend;
+* :class:`~repro.scenarios.spec.ScenarioMatrix` — a declarative sweep
+  (stacks × adversaries × faults × backends) expanded into cells, each
+  carrying the paper-derived expectation for every property;
+* :mod:`~repro.scenarios.properties` — reusable trace predicates
+  (agreement, validity, simultaneity, lock-before-open, replacement
+  observed) evaluated against the session's ``EventLog``;
+* :mod:`~repro.scenarios.runner` — builds each world, drives it round by
+  round (applying the fault plan), and evaluates the expectations; whole
+  matrices run through :class:`~repro.runtime.pool.SessionPool`.
+
+Entry points: ``repro scenarios list|run`` on the CLI,
+``tests/test_scenarios_matrix.py`` under pytest, ``bench_scenarios.py``
+(E16) in the benchmark suite.
+"""
+
+from repro.scenarios.faults import FaultPlan, FaultyScheduler
+from repro.scenarios.properties import PropertyResult, TraceUnavailable, evaluate
+from repro.scenarios.runner import (
+    CellResult,
+    MatrixReport,
+    ScenarioOutcome,
+    evaluate_scenario,
+    extra_scenarios,
+    run_matrix,
+    run_scenario,
+    run_scenario_trial,
+)
+from repro.scenarios.spec import (
+    EXPECTATIONS,
+    PAYLOAD_PREFIX,
+    REPLACEMENT,
+    ScenarioMatrix,
+    ScenarioSpec,
+    default_matrix,
+)
+
+__all__ = [
+    "CellResult",
+    "EXPECTATIONS",
+    "FaultPlan",
+    "FaultyScheduler",
+    "MatrixReport",
+    "PAYLOAD_PREFIX",
+    "PropertyResult",
+    "REPLACEMENT",
+    "ScenarioMatrix",
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "TraceUnavailable",
+    "default_matrix",
+    "evaluate",
+    "evaluate_scenario",
+    "extra_scenarios",
+    "run_matrix",
+    "run_scenario",
+    "run_scenario_trial",
+]

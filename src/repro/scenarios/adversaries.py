@@ -1,0 +1,98 @@
+"""Adversary strategy registry: strategy name × stack family → attack.
+
+A scenario names a *strategy* ("copy", "replace", ...); the concrete
+attack class from :mod:`repro.attacks` depends on the stack under test —
+the copy attack against raw UBC hunts plaintext leaks, against SBC it
+can only replay ciphertext triples.  This module owns that mapping so
+specs stay purely declarative.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.attacks.adaptive import (
+    FBCReplaceAttack,
+    LockedReplaceAttack,
+    UBCReplaceAttack,
+)
+from repro.attacks.bias import BiasingContributor
+from repro.attacks.rushing import SBCCopyAttack, UBCCopyAttack
+from repro.functionalities.durs import URS_LEN
+from repro.scenarios.spec import PAYLOAD_PREFIX, REPLACEMENT, ScenarioSpec
+from repro.uc.adversary import Adversary, PassiveAdversary
+
+
+def _attacker(spec: ScenarioSpec) -> str:
+    """The pid the strategy corrupts and acts through (the last party)."""
+    return f"P{spec.n - 1}"
+
+
+#: The sender every replacement strategy targets.
+VICTIM = "P0"
+
+
+def _passive(spec: ScenarioSpec) -> Adversary:
+    return PassiveAdversary()
+
+
+def _copy(spec: ScenarioSpec) -> Adversary:
+    if spec.family == "sbc":
+        return SBCCopyAttack(
+            attacker=_attacker(spec),
+            is_plaintext=lambda m: isinstance(m, bytes) and m.startswith(PAYLOAD_PREFIX),
+        )
+    if spec.family == "durs":
+        # Honest contributions are λ-bit strings; copying one would break
+        # the beacon's independence.
+        return SBCCopyAttack(
+            attacker=_attacker(spec),
+            is_plaintext=lambda m: isinstance(m, bytes) and len(m) == URS_LEN,
+        )
+    # UBC-shaped stacks (and FBC, whose leaks the attack cannot use).
+    return UBCCopyAttack(attacker=_attacker(spec))
+
+
+def _replace(spec: ScenarioSpec) -> Adversary:
+    if spec.family == "fbc":
+        # Against fair broadcast the observe-then-replace order is forced:
+        # the value is unknown until ∆ − α, and reading it locks it.
+        return LockedReplaceAttack(victim=VICTIM, replacement=REPLACEMENT)
+    return UBCReplaceAttack(victim=VICTIM, replacement=REPLACEMENT)
+
+
+def _replace_early(spec: ScenarioSpec) -> Adversary:
+    # Corrupt immediately and replace blind — the window the FBC lock
+    # deliberately leaves open (Figure 10: replacement before the lock).
+    return FBCReplaceAttack(victim=VICTIM, replacement=REPLACEMENT, corrupt_after=0)
+
+
+def _bias(spec: ScenarioSpec) -> Adversary:
+    return BiasingContributor(
+        attacker=_attacker(spec), target_bit=0, phi=spec.param("phi", 3)
+    )
+
+
+ADVERSARIES: Dict[str, Callable[[ScenarioSpec], Adversary]] = {
+    "passive": _passive,
+    "copy": _copy,
+    "replace": _replace,
+    "replace-early": _replace_early,
+    "bias": _bias,
+}
+
+
+def make_adversary(spec: ScenarioSpec) -> Adversary:
+    """Instantiate the strategy for one cell (fresh state every call).
+
+    Raises:
+        KeyError: unknown strategy name.
+    """
+    try:
+        factory = ADVERSARIES[spec.adversary]
+    except KeyError:
+        known = ", ".join(sorted(ADVERSARIES))
+        raise KeyError(
+            f"unknown adversary strategy {spec.adversary!r} (known: {known})"
+        ) from None
+    return factory(spec)

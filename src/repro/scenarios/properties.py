@@ -1,0 +1,224 @@
+"""Reusable trace predicates for the paper's adversarial properties.
+
+Each property is a function ``fn(outcome) -> (holds, detail)`` evaluated
+against a finished :class:`~repro.scenarios.runner.ScenarioOutcome` — the
+session's :class:`~repro.uc.trace.EventLog`, the adversary's state and
+the per-party delivered views.  The conformance suite compares ``holds``
+to the expectation table in :mod:`repro.scenarios.spec`; a property that
+*must fail* (e.g. plaintext secrecy over raw UBC) is as much a theorem
+as one that must hold.
+
+Trace-dependent properties refuse to evaluate against a trace-off
+(``light``) execution: a predicate that vacuously passes because nothing
+was recorded is indistinguishable from a real pass, which is exactly the
+false positive this module exists to rule out (see also
+:func:`repro.runtime.pool.compare_trace_digests`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Tuple
+
+from repro.uc.trace import NullEventLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenarios.runner import ScenarioOutcome
+
+
+class TraceUnavailable(RuntimeError):
+    """A trace property was evaluated against a trace-off execution."""
+
+
+@dataclass(frozen=True)
+class PropertyResult:
+    """Outcome of one property check on one scenario cell."""
+
+    name: str
+    holds: bool
+    expected: bool
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Whether reality matched the paper's prediction."""
+        return self.holds == self.expected
+
+
+def _require_trace(outcome: "ScenarioOutcome", name: str) -> None:
+    if isinstance(outcome.session.log, NullEventLog):
+        raise TraceUnavailable(
+            f"property {name!r} needs the event trace, but the session ran "
+            "trace-off (light mode); rerun under a full-trace backend"
+        )
+
+
+# -- liveness and consistency -------------------------------------------------
+
+
+def prop_delivery(outcome: "ScenarioOutcome") -> Tuple[bool, str]:
+    """Every honest party expected to output did so."""
+    empty = [pid for pid in outcome.expected_pids if not outcome.delivered.get(pid)]
+    return (not empty, f"no output from {empty}" if empty else "all delivered")
+
+
+def prop_agreement(outcome: "ScenarioOutcome") -> Tuple[bool, str]:
+    """All honest delivered views are identical (order included)."""
+    views = [outcome.delivered.get(pid) for pid in outcome.expected_pids]
+    holds = len(views) > 0 and all(view == views[0] for view in views)
+    return (holds, f"{len(set(map(repr, views)))} distinct views")
+
+
+def prop_validity(outcome: "ScenarioOutcome") -> Tuple[bool, str]:
+    """Inputs of senders still honest at the end reach every honest view."""
+    missing = []
+    for pid, payload, _round in outcome.honest_inputs:
+        if outcome.session.is_corrupted(pid):
+            continue  # corrupted mid-run: the paper guarantees nothing
+        for viewer in outcome.expected_pids:
+            if payload not in outcome.delivered.get(viewer, []):
+                missing.append((pid, viewer))
+    return (not missing, f"missing {missing}" if missing else "all honest inputs in")
+
+
+def prop_no_duplicates(outcome: "ScenarioOutcome") -> Tuple[bool, str]:
+    """No honest input is delivered more than once to any honest party."""
+    duplicated = []
+    for pid, payload, _round in outcome.honest_inputs:
+        for viewer in outcome.expected_pids:
+            if outcome.delivered.get(viewer, []).count(payload) > 1:
+                duplicated.append((pid, viewer))
+    return (not duplicated, f"duplicates at {duplicated}" if duplicated else "unique")
+
+
+def prop_simultaneous_delivery(outcome: "ScenarioOutcome") -> Tuple[bool, str]:
+    """All honest parties produce their first output in the same round."""
+    _require_trace(outcome, "simultaneous_delivery")
+    rounds: Dict[str, int] = {}
+    for pid in outcome.expected_pids:
+        event = outcome.session.log.first("output", source=pid)
+        if event is None:
+            return (False, f"{pid} never output")
+        rounds[pid] = event.time
+    holds = len(set(rounds.values())) <= 1
+    return (holds, f"first-output rounds {rounds}")
+
+
+# -- secrecy / simultaneity -----------------------------------------------------
+
+
+def prop_plaintext_secrecy(outcome: "ScenarioOutcome") -> Tuple[bool, str]:
+    """No honest payload appears in any *leak* before its reveal deadline.
+
+    The deadline is stack-specific (``∆ − α`` after the request for FBC,
+    the adversary-preview round for SBC, the next-round delivery bound
+    for UBC — where the property is expected to fail: FUBC leaks the
+    plaintext at request time).
+    """
+    _require_trace(outcome, "plaintext_secrecy")
+    early = []
+    for payload, deadline in outcome.secrecy_deadlines:
+        event = outcome.session.log.first_containing(payload, kind="leak")
+        if event is not None and event.time < deadline:
+            early.append((payload, event.time, deadline))
+    return (
+        not early,
+        f"leaked early: {early}" if early else "no pre-deadline plaintext leak",
+    )
+
+
+# -- attack-outcome properties -------------------------------------------------
+
+
+def prop_copy_landed(outcome: "ScenarioOutcome") -> Tuple[bool, str]:
+    """The copy strategy obtained an honest plaintext to re-broadcast."""
+    adversary = outcome.adversary
+    copied = list(getattr(adversary, "copied", ())) or list(
+        getattr(adversary, "plaintexts_seen", ())
+    )
+    return (bool(copied), f"copied {copied!r}")
+
+
+def prop_replacement_delivered(outcome: "ScenarioOutcome") -> Tuple[bool, str]:
+    """The attack's replacement value reached some honest party's view."""
+    replacement = getattr(outcome.adversary, "replacement", None)
+    if replacement is None:
+        return (False, "strategy has no replacement value")
+    hit = [
+        pid
+        for pid in outcome.expected_pids
+        if replacement in outcome.delivered.get(pid, [])
+    ]
+    return (bool(hit), f"replacement seen by {hit}")
+
+
+def prop_replacement_blocked(outcome: "ScenarioOutcome") -> Tuple[bool, str]:
+    """Replacement was attempted and rejected every time."""
+    attempts = getattr(outcome.adversary, "attempts", 0)
+    successes = getattr(outcome.adversary, "successes", 0)
+    return (
+        attempts > 0 and successes == 0,
+        f"{successes}/{attempts} replacements accepted",
+    )
+
+
+def prop_fbc_lock_before_open(outcome: "ScenarioOutcome") -> Tuple[bool, str]:
+    """No successful ``Allow`` at or after the lock of the same tag.
+
+    ``FairBroadcast`` records ``lock`` on reveal and ``allow`` only on
+    accepted replacements; fairness is the absence of an ``allow`` once
+    the tag is locked.  Holds vacuously when nothing ever locked.
+    """
+    _require_trace(outcome, "fbc_lock_before_open")
+    log = outcome.session.log
+    lock_times = {event.detail[0]: event.time for event in log.filter(kind="lock")}
+    late = [
+        event.detail
+        for event in log.filter(kind="allow")
+        if event.detail[0] in lock_times and event.time >= lock_times[event.detail[0]]
+    ]
+    return (not late, f"allow after lock: {late}" if late else f"{len(lock_times)} locks")
+
+
+def prop_bias_blind(outcome: "ScenarioOutcome") -> Tuple[bool, str]:
+    """The biasing contributor had to submit blind (no honest plaintexts)."""
+    adversary = outcome.adversary
+    submitted = getattr(adversary, "submitted", None)
+    informed = getattr(adversary, "informed", True)
+    return (
+        submitted is not None and not informed,
+        f"submitted={submitted is not None} informed={informed}",
+    )
+
+
+PROPERTIES: Mapping[str, Callable[["ScenarioOutcome"], Tuple[bool, str]]] = {
+    "delivery": prop_delivery,
+    "agreement": prop_agreement,
+    "validity": prop_validity,
+    "no_duplicates": prop_no_duplicates,
+    "simultaneous_delivery": prop_simultaneous_delivery,
+    "plaintext_secrecy": prop_plaintext_secrecy,
+    "copy_landed": prop_copy_landed,
+    "replacement_delivered": prop_replacement_delivered,
+    "replacement_blocked": prop_replacement_blocked,
+    "fbc_lock_before_open": prop_fbc_lock_before_open,
+    "bias_blind": prop_bias_blind,
+}
+
+
+def evaluate(
+    outcome: "ScenarioOutcome", expectations: Mapping[str, bool]
+) -> List[PropertyResult]:
+    """Check every expected property against the finished execution.
+
+    Raises:
+        KeyError: an expectation names an unregistered property.
+        TraceUnavailable: a trace property met a trace-off execution.
+    """
+    results = []
+    for name, expected in expectations.items():
+        holds, detail = PROPERTIES[name](outcome)
+        results.append(
+            PropertyResult(name=name, holds=holds, expected=expected, detail=detail)
+        )
+    return results

@@ -75,6 +75,24 @@ class EventLog:
             selected.append(event)
         return selected
 
+    def first_containing(
+        self, needle: bytes, kind: Optional[str] = None
+    ) -> Optional[Event]:
+        """Earliest event whose detail repr contains ``needle``.
+
+        The repr-containment convention matches the secrecy assertions
+        used throughout the test suite: a payload counts as exposed by an
+        event iff its bytes appear verbatim in the event's detail
+        rendering.  Returns ``None`` when no event matches.
+        """
+        text = repr(needle)[2:-1].encode()  # b'scn:P0' -> scn:P0, escapes kept
+        for event in self.events:
+            if kind is not None and event.kind != kind:
+                continue
+            if text and text in repr(event.detail).encode():
+                return event
+        return None
+
     def first(self, kind: str, **kwargs: Any) -> Optional[Event]:
         """Return the earliest event of the given kind, or ``None``."""
         matches = self.filter(kind=kind, **kwargs)

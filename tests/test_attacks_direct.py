@@ -1,6 +1,10 @@
 """Direct unit coverage of the attack strategies' selection logic."""
 
-from repro.attacks.adaptive import OutputRequestProbe, UBCReplaceAttack
+from repro.attacks.adaptive import (
+    LockedReplaceAttack,
+    OutputRequestProbe,
+    UBCReplaceAttack,
+)
 from repro.attacks.bias import BiasingContributor
 from repro.attacks.rushing import UBCCopyAttack
 from repro.functionalities.dummy import DummyBroadcastParty
@@ -67,6 +71,38 @@ def test_output_probe_collects_all_tags():
     )
     env.run_rounds(4)
     assert probe.reveal_ages == [1, 1]  # Δ − α for both messages
+
+
+def test_locked_replace_reads_then_always_fails():
+    """Reading at Δ − α locks the value; the follow-up Allow must lose."""
+    attack = LockedReplaceAttack(victim="P0", replacement=b"evil")
+    session = Session(seed=5, adversary=attack)
+    fbc = FairBroadcast(session, delta=3, alpha=1)
+    parties = {
+        f"P{i}": DummyBroadcastParty(session, f"P{i}", fbc) for i in range(3)
+    }
+    env = Environment(session)
+    env.run_round([("P0", broadcast_action(b"good"))])
+    env.run_rounds(4)
+    assert attack.revealed == [b"good"]  # obtained exactly at Δ − α
+    assert attack.attempts == 1 and attack.successes == 0
+    assert "P0" in attack.corrupted_parties  # corruption did not help
+    assert [m for _, m in parties["P1"].outputs] == [b"good"]
+
+
+def test_locked_replace_ignores_other_senders():
+    attack = LockedReplaceAttack(victim="P0", replacement=b"evil")
+    session = Session(seed=6, adversary=attack)
+    fbc = FairBroadcast(session, delta=2, alpha=1)
+    parties = {
+        f"P{i}": DummyBroadcastParty(session, f"P{i}", fbc) for i in range(3)
+    }
+    env = Environment(session)
+    env.run_round([("P1", broadcast_action(b"not-the-victim"))])
+    env.run_rounds(3)
+    assert attack.revealed == [b"not-the-victim"]  # still reads everything
+    assert attack.attempts == 0  # but only the victim gets replaced
+    assert "P1" not in attack.corrupted_parties
 
 
 def test_biasing_contributor_informed_math():

@@ -1,0 +1,249 @@
+"""Hypothesis property tests for the crypto primitives.
+
+Algebraic laws and completeness properties checked over generated
+inputs rather than hand-picked vectors: group laws (including the
+``discrete_log_small`` bound semantics), ElGamal and SKE roundtrips,
+Shamir reconstruction from *any* ``t + 1`` share subset, and
+Schnorr/Σ-protocol completeness.  All runs are seeded and
+example-bounded (``derandomize=True``) so CI time stays deterministic.
+"""
+
+import random
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.crypto.elgamal import (
+    elgamal_decrypt,
+    elgamal_decrypt_exponent,
+    elgamal_encrypt,
+    elgamal_encrypt_exponent,
+    elgamal_keygen,
+    elgamal_multiply,
+)
+from repro.crypto.groups import TEST_GROUP
+from repro.crypto.schnorr import schnorr_keygen, schnorr_sign, schnorr_verify
+from repro.crypto.shamir import (
+    feldman_share,
+    feldman_verify,
+    reconstruct_secret,
+    share_secret,
+)
+from repro.crypto.ske import DecryptionError, ske_decrypt, ske_encrypt, ske_gen
+from repro.crypto.zkp import (
+    ballot_prove,
+    ballot_verify,
+    cp_prove,
+    cp_verify,
+    pok_prove,
+    pok_verify,
+)
+
+G = TEST_GROUP
+
+#: Bounded, derandomized profile: identical examples on every run.
+CI = settings(
+    max_examples=25,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+scalars = st.integers(min_value=1, max_value=G.q - 1)
+exponents = st.integers(min_value=0, max_value=G.q - 1)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+# ---------------------------------------------------------------------------
+# Group laws
+# ---------------------------------------------------------------------------
+
+
+@CI
+@given(a=exponents, b=exponents)
+def test_group_exponent_homomorphism(a, b):
+    assert G.mul(G.power_of_g(a), G.power_of_g(b)) == G.power_of_g((a + b) % G.q)
+    assert G.power_of_g(a) == pow(G.g, a, G.p)
+
+
+@CI
+@given(a=scalars, b=scalars, c=scalars)
+def test_group_mul_laws(a, b, c):
+    x, y, z = G.power_of_g(a), G.power_of_g(b), G.power_of_g(c)
+    assert G.mul(G.mul(x, y), z) == G.mul(x, G.mul(y, z))  # associative
+    assert G.mul(x, y) == G.mul(y, x)  # abelian
+    assert G.mul(x, 1) == x  # identity
+    assert G.mul(x, G.inv(x)) == 1  # inverse
+    assert G.is_member(G.mul(x, y))  # closure
+
+
+@CI
+@given(e=st.integers(min_value=0, max_value=499))
+def test_discrete_log_small_within_bound(e):
+    assert G.discrete_log_small(G.power_of_g(e), bound=500) == e
+
+
+@CI
+@given(e=st.integers(min_value=500, max_value=5000))
+def test_discrete_log_small_rejects_out_of_bound(e):
+    with pytest.raises(ValueError):
+        G.discrete_log_small(G.power_of_g(e), bound=500)
+
+
+# ---------------------------------------------------------------------------
+# ElGamal
+# ---------------------------------------------------------------------------
+
+
+@CI
+@given(seed=seeds, m=scalars)
+def test_elgamal_roundtrip(seed, m):
+    rng = _rng(seed)
+    secret, public = elgamal_keygen(rng, G)
+    message = G.power_of_g(m)
+    ciphertext = elgamal_encrypt(G, public, message, rng)
+    assert elgamal_decrypt(G, secret, ciphertext) == message
+
+
+@CI
+@given(seed=seeds, a=st.integers(min_value=0, max_value=800),
+       b=st.integers(min_value=0, max_value=800))
+def test_elgamal_exponent_homomorphism(seed, a, b):
+    rng = _rng(seed)
+    secret, public = elgamal_keygen(rng, G)
+    ca = elgamal_encrypt_exponent(G, public, a, rng)
+    cb = elgamal_encrypt_exponent(G, public, b, rng)
+    combined = elgamal_multiply(G, ca, cb)
+    assert elgamal_decrypt_exponent(G, secret, combined, bound=2000) == a + b
+
+
+# ---------------------------------------------------------------------------
+# SKE
+# ---------------------------------------------------------------------------
+
+
+@CI
+@given(seed=seeds, plaintext=st.binary(min_size=0, max_size=256))
+def test_ske_roundtrip(seed, plaintext):
+    rng = _rng(seed)
+    key = ske_gen(rng)
+    assert ske_decrypt(key, ske_encrypt(key, plaintext, rng)) == plaintext
+
+
+@CI
+@given(seed=seeds, plaintext=st.binary(min_size=1, max_size=64),
+       position=st.integers(min_value=0, max_value=10**6))
+def test_ske_rejects_any_single_byte_tamper(seed, plaintext, position):
+    rng = _rng(seed)
+    key = ske_gen(rng)
+    ciphertext = bytearray(ske_encrypt(key, plaintext, rng))
+    index = position % len(ciphertext)
+    ciphertext[index] ^= 0x01
+    with pytest.raises(DecryptionError):
+        ske_decrypt(key, bytes(ciphertext))
+
+
+@CI
+@given(seed=seeds, plaintext=st.binary(min_size=0, max_size=64))
+def test_ske_rejects_wrong_key(seed, plaintext):
+    rng = _rng(seed)
+    key, other = ske_gen(rng), ske_gen(rng)
+    with pytest.raises(DecryptionError):
+        ske_decrypt(other, ske_encrypt(key, plaintext, rng))
+
+
+# ---------------------------------------------------------------------------
+# Shamir / Feldman
+# ---------------------------------------------------------------------------
+
+
+@CI
+@given(seed=seeds, secret=st.integers(min_value=0, max_value=G.q - 1),
+       threshold=st.integers(min_value=0, max_value=5),
+       extra=st.integers(min_value=1, max_value=4),
+       subset_seed=seeds)
+def test_shamir_reconstructs_from_any_t_plus_1_subset(
+    seed, secret, threshold, extra, subset_seed
+):
+    rng = _rng(seed)
+    parties = threshold + extra
+    shares = share_secret(secret, threshold, parties, G.q, rng)
+    picker = _rng(subset_seed)
+    subset = picker.sample(shares, threshold + 1)
+    assert reconstruct_secret(subset, G.q) == secret
+    # Full reconstruction agrees too.
+    assert reconstruct_secret(shares, G.q) == secret
+
+
+@CI
+@given(seed=seeds, secret=st.integers(min_value=0, max_value=G.q - 1),
+       threshold=st.integers(min_value=0, max_value=3),
+       extra=st.integers(min_value=1, max_value=3))
+def test_feldman_shares_all_verify(seed, secret, threshold, extra):
+    rng = _rng(seed)
+    shares, commitment = feldman_share(G, secret, threshold, threshold + extra, rng)
+    assert commitment.degree == threshold
+    assert all(feldman_verify(G, share, commitment) for share in shares)
+    # A perturbed share must not verify.
+    bad = shares[0].__class__(x=shares[0].x, y=(shares[0].y + 1) % G.q)
+    assert not feldman_verify(G, bad, commitment)
+
+
+# ---------------------------------------------------------------------------
+# Schnorr signatures and Σ-protocols: completeness
+# ---------------------------------------------------------------------------
+
+
+@CI
+@given(seed=seeds, message=st.binary(min_size=0, max_size=128))
+def test_schnorr_completeness(seed, message):
+    rng = _rng(seed)
+    keypair = schnorr_keygen(rng, G)
+    signature = schnorr_sign(keypair, message, rng)
+    assert schnorr_verify(G, keypair.public, message, signature)
+    assert not schnorr_verify(G, keypair.public, message + b"x", signature)
+
+
+@CI
+@given(seed=seeds, secret=scalars, base_exp=scalars)
+def test_pok_completeness(seed, secret, base_exp):
+    rng = _rng(seed)
+    base = G.power_of_g(base_exp)
+    public = G.exp(base, secret)
+    proof = pok_prove(G, base, public, secret, rng)
+    assert pok_verify(G, base, public, proof)
+    assert not pok_verify(G, base, G.mul(public, G.g), proof)
+
+
+@CI
+@given(seed=seeds, secret=scalars, b1=scalars, b2=scalars)
+def test_cp_completeness(seed, secret, b1, b2):
+    rng = _rng(seed)
+    base1, base2 = G.power_of_g(b1), G.power_of_g(b2)
+    public1, public2 = G.exp(base1, secret), G.exp(base2, secret)
+    proof = cp_prove(G, base1, public1, base2, public2, secret, rng)
+    assert cp_verify(G, base1, public1, base2, public2, proof)
+    assert not cp_verify(G, base1, G.mul(public1, G.g), base2, public2, proof)
+
+
+@CI
+@given(seed=seeds, secret=scalars, seed_exp=scalars,
+       vote_index=st.integers(min_value=0, max_value=2))
+def test_ballot_proof_completeness(seed, secret, seed_exp, vote_index):
+    rng = _rng(seed)
+    choices = [0, 1, 2]
+    vote = choices[vote_index]
+    ballot_seed = G.power_of_g(seed_exp)
+    w = G.power_of_g(secret)
+    ballot = G.mul(G.exp(ballot_seed, secret), G.power_of_g(vote))
+    proof = ballot_prove(G, ballot_seed, w, ballot, secret, vote, choices, rng)
+    assert ballot_verify(G, ballot_seed, w, ballot, proof, choices)
+    # The same proof must not verify against a different ballot.
+    other = G.mul(ballot, G.g)
+    assert not ballot_verify(G, ballot_seed, w, other, proof, choices)
