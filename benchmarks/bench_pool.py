@@ -1,19 +1,27 @@
-"""E14 — SessionPool: pooled session sweeps beat the sequential loop.
+"""E14/E17 — SessionPool and the multi-core sweep engine.
 
 Claims: (i) a :class:`~repro.runtime.pool.SessionPool` run of 32 repeated
 SBC sessions under the throughput runtime (batched driver, light trace)
 is faster than the naive sequential loop on the reference backend;
 (ii) pooled execution with full tracing produces **byte-identical** event
 traces to the sequential loop, seed for seed (the runtime's determinism
-contract); (iii) distinct seeds produce distinct executions.
+contract); (iii) distinct seeds produce distinct executions; (iv) the
+chunked process fan-out (:class:`~repro.runtime.sweep.ParallelSweep`)
+reproduces the inline digests seed for seed, and on hosts with >= 4 real
+cores finishes the sweep >= 2x faster than the inline executor.
 """
+
+import os
 
 from conftest import bench_record, emit, once
 
-from repro.runtime import SessionPool, sequential_loop
+from repro.runtime import ParallelSweep, SessionPool, sequential_loop
 
 SESSIONS = 32
 PARAMS = dict(n=4, mode="composed", phi=5, delta=3, senders=2)
+
+#: The >=2x speedup claim only binds with real cores behind the workers.
+SPEEDUP_MIN_CORES = 4
 
 
 def test_e14_pool_beats_sequential_loop(benchmark):
@@ -95,3 +103,62 @@ def test_e14_pool_wallclock(benchmark):
     pool = SessionPool(backend="batched", **PARAMS)
     counter = iter(range(100_000))
     benchmark(lambda: pool.run([next(counter)]))
+
+
+def test_e17_process_fanout_sweep(benchmark):
+    cores = os.cpu_count() or 1
+
+    def sweep():
+        seeds = list(range(SESSIONS))
+        fanout = ParallelSweep(
+            backend="pooled", executor="process", trace="full", **PARAMS
+        )
+        plan = fanout.plan(len(seeds))
+        # verify() runs the process sweep AND the inline reference, and
+        # compares trace digests seed for seed — the determinism contract
+        # must hold across process boundaries before any speedup counts.
+        # Two passes: the faster one times the speedup, but *every* pass
+        # must match (a divergence in the slower run is still a bug).
+        verdicts = [fanout.verify(seeds) for _ in range(2)]
+        assert all(v.matched for v in verdicts)
+        verdict = min(verdicts, key=lambda v: v.report.wall_time_s)
+        rows = [
+            {
+                "executor": report.executor,
+                "sessions": report.sessions,
+                "workers": report.workers,
+                "chunksize": report.chunksize,
+                "wall_s": round(report.wall_time_s, 4),
+                "speedup": round(
+                    verdict.reference.wall_time_s / report.wall_time_s, 2
+                ),
+            }
+            for report in (verdict.reference, verdict.report)
+        ]
+        # The acceptance claim: >=2x over inline — but only where the
+        # hardware can deliver it (process fan-out on a 1-2 core box is
+        # all IPC overhead, which the record still documents honestly).
+        if cores >= SPEEDUP_MIN_CORES:
+            assert verdict.speedup >= 2.0, (
+                f"process sweep only {verdict.speedup:.2f}x faster than "
+                f"inline on {cores} cores"
+            )
+        return rows, plan, verdict
+
+    (rows, plan, verdict) = once(benchmark, sweep)
+    emit(
+        "E17",
+        f"Chunked process fan-out over {SESSIONS} SBC sessions ({cores} cores)",
+        rows,
+        protocol="sbc-sweep",
+        n=PARAMS["n"],
+        rounds=verdict.report.total_rounds,
+        backend="pooled",
+        sessions=SESSIONS,
+        executor="process",
+        workers=plan.workers,
+        chunksize=plan.chunksize,
+        speedup_vs_inline=round(verdict.speedup, 3),
+        digests_match_inline=verdict.matched,
+        speedup_asserted=cores >= SPEEDUP_MIN_CORES,
+    )

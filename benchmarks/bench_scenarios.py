@@ -5,12 +5,14 @@ adversaries × fault patterns × backends, plus the targeted timing
 scenarios) satisfies its paper-derived property expectations; (ii) each
 cell's event trace is identical across the full-trace backends, even
 mid-attack; (iii) the whole sweep is cheap enough to regenerate on every
-run — adversarial conformance as a standing benchmark, not a one-off.
+run — adversarial conformance as a standing benchmark, not a one-off;
+(iv) sharding matrix cells across process workers preserves cell order
+and per-cell digests exactly (E16b).
 """
 
 from collections import defaultdict
 
-from conftest import emit, once
+from conftest import bench_record, emit, once
 
 from repro.scenarios import default_matrix, extra_scenarios, run_matrix
 
@@ -55,4 +57,36 @@ def test_e16_scenario_matrix_conformance(benchmark):
         stacks=len(MATRIX.stacks),
         adversaries=len(MATRIX.adversaries),
         faults=len(MATRIX.faults),
+    )
+
+
+def test_e16b_matrix_cells_shard_across_processes(benchmark):
+    def sweep():
+        # The smoke subset: enough cells to span several chunks, small
+        # enough to keep this a per-run regenerable.
+        specs = (MATRIX.expand() + extra_scenarios())[:12]
+        inline = run_matrix(specs, executor="inline")
+        fanned = run_matrix(specs, executor="process", workers=2, chunksize=3)
+        assert fanned.ok, [cell.cell_id for cell in fanned.failures]
+        # Deterministic ordering and per-cell digest equality across the
+        # process boundary (every matrix cell runs a full-trace backend).
+        assert [c.cell_id for c in fanned.cells] == [c.cell_id for c in inline.cells]
+        assert [c.digest for c in fanned.cells] == [c.digest for c in inline.cells]
+        return inline, fanned
+
+    (inline, fanned) = once(benchmark, sweep)
+    bench_record(
+        "E16b",
+        protocol="scenarios",
+        n=max(spec.n for spec in MATRIX.expand()),
+        rounds=sum(cell.rounds for cell in fanned.cells),
+        backend="sequential+pooled",
+        cells=len(fanned.cells),
+        executor="process",
+        workers=2,
+        chunksize=3,
+        digests_match_inline=True,
+        speedup_vs_inline=round(
+            inline.wall_time_s / max(fanned.wall_time_s, 1e-9), 3
+        ),
     )

@@ -16,6 +16,7 @@ backends.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import sys
 import time
@@ -73,6 +74,9 @@ def bench_record(
         "rounds": rounds,
         "wall_time_s": round(wall_time_s, 6) if wall_time_s is not None else None,
         "backend": backend,
+        # Multi-core sweeps only beat inline with real cores behind them;
+        # recording the host's count keeps cross-run speedups comparable.
+        "cpus": os.cpu_count(),
     }
     if extra:
         record["params"] = extra

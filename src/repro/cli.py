@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli auction   --bids 410 365 298
     python -m repro.cli lineage   --n 4 16 64
     python -m repro.cli bench     --sessions 32 --backend pooled --compare
+    python -m repro.cli sweep     --sessions 64 --executor process --workers 4 --verify
 
 Every protocol command accepts ``--backend`` to pick the execution
 backend (``sequential`` is the reference engine; ``pooled`` / ``batched``
@@ -98,6 +99,10 @@ def _cmd_auction(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.runtime import SessionPool, sequential_loop
 
+    if args.sessions < 1:
+        print("--sessions must be >= 1 (an empty sweep has nothing to report)",
+              file=sys.stderr)
+        return 2
     params = dict(
         n=args.n, mode=args.mode, phi=args.phi, delta=args.delta, senders=args.senders
     )
@@ -105,6 +110,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         backend=args.backend,
         executor=args.executor,
         workers=args.workers,
+        chunksize=args.chunksize,
+        max_tasks_per_child=args.max_tasks_per_child,
         trace=args.trace,
         **params,
     )
@@ -133,6 +140,49 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             # like a vacuous pass (see runtime.pool.compare_trace_digests).
             print("trace digests: not compared (sweep ran trace-off; "
                   "use --trace full to verify determinism)")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.runtime import ParallelSweep
+
+    if args.sessions < 1:
+        print("--sessions must be >= 1 (an empty sweep has nothing to report)",
+              file=sys.stderr)
+        return 2
+    params = dict(
+        n=args.n, mode=args.mode, phi=args.phi, delta=args.delta, senders=args.senders
+    )
+    trace = args.trace
+    if args.verify and trace != "full":
+        print("--verify compares trace digests: forcing --trace full")
+        trace = "full"
+    sweep = ParallelSweep(
+        backend=args.backend,
+        executor=args.executor,
+        workers=args.workers,
+        chunksize=args.chunksize,
+        max_tasks_per_child=args.max_tasks_per_child,
+        warmup=not args.no_warmup,
+        trace=trace,
+        **params,
+    )
+    seeds = list(range(args.seed, args.seed + args.sessions))
+    plan = sweep.plan(len(seeds))
+    print(format_table([plan.summary()], title=f"sweep plan: {args.sessions} x SBC ({args.mode})"))
+    if args.verify:
+        verdict = sweep.verify(seeds)
+        print(format_table(
+            [verdict.report.summary(), verdict.reference.summary()],
+            title="sweep vs inline reference",
+        ))
+        print(f"speedup vs inline: {verdict.speedup:.2f}x")
+        print(f"trace digests match inline reference, seed for seed: "
+              f"{'yes' if verdict.matched else 'NO'}")
+        return 0 if verdict.matched else 1
+    report = sweep.run(seeds)
+    print(format_table([report.summary()], title="sweep"))
+    print(f"per-session: {report.wall_time_s / max(report.sessions, 1) * 1000:.2f} ms")
     return 0
 
 
@@ -187,7 +237,13 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             print(format_table(rows, title=f"{len(specs)} scenario cells"))
         return 0
 
-    report = run_matrix(specs, executor=args.executor, workers=args.workers)
+    report = run_matrix(
+        specs,
+        executor=args.executor,
+        workers=args.workers,
+        chunksize=args.chunksize,
+        max_tasks_per_child=args.max_tasks_per_child,
+    )
     mismatches = report.backend_mismatches()
     if args.json:
         print(json.dumps(
@@ -274,6 +330,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bids", nargs="*", type=int, default=None)
     p.set_defaults(func=_cmd_auction)
 
+    def executor_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=None,
+                       help="worker count (default: all cores for processes)")
+        p.add_argument(
+            "--chunksize", type=int, default=None,
+            help="tasks per process dispatch (default: auto, ~4 chunks/worker)",
+        )
+        p.add_argument(
+            "--max-tasks-per-child", type=int, default=None,
+            help="recycle process workers after this many tasks",
+        )
+
     p = sub.add_parser("bench", help="run a pooled SBC session sweep")
     common(p)
     p.add_argument("--sessions", type=int, default=32, help="number of independent sessions")
@@ -285,7 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor", choices=("inline", "thread", "process"), default="inline",
         help="how the pool maps sessions to workers",
     )
-    p.add_argument("--workers", type=int, default=None)
+    executor_options(p)
     p.add_argument(
         "--trace", choices=("full", "light"), default="light",
         help="trace mode inside pooled sessions (light = no EventLog, faster)",
@@ -295,6 +363,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the sequential reference loop and print the speedup",
     )
     p.set_defaults(func=_cmd_bench, backend="pooled")
+
+    p = sub.add_parser(
+        "sweep",
+        help="multi-core SBC session sweep (chunked process fan-out)",
+    )
+    common(p)
+    p.add_argument("--sessions", type=int, default=64, help="number of independent sessions")
+    p.add_argument("--n", type=int, default=4)
+    p.add_argument("--phi", type=int, default=5)
+    p.add_argument("--delta", type=int, default=3)
+    p.add_argument("--senders", type=int, default=2)
+    p.add_argument(
+        "--executor", choices=("inline", "thread", "process"), default="process",
+        help="sweep executor (default: process fan-out)",
+    )
+    executor_options(p)
+    p.add_argument(
+        "--no-warmup", action="store_true",
+        help="skip the per-worker crypto warm-up initializer",
+    )
+    p.add_argument(
+        "--trace", choices=("full", "light"), default="light",
+        help="trace mode inside swept sessions",
+    )
+    p.add_argument(
+        "--verify", action="store_true",
+        help="also run the inline reference and require seed-for-seed "
+             "digest equality (exit 1 on divergence)",
+    )
+    p.set_defaults(func=_cmd_sweep, backend="pooled")
 
     p = sub.add_parser(
         "scenarios",
@@ -314,7 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor", choices=("inline", "thread", "process"), default="inline",
         help="how the matrix maps cells to workers",
     )
-    p.add_argument("--workers", type=int, default=None)
+    executor_options(p)
     p.add_argument("--json", action="store_true", help="emit JSON records")
     p.set_defaults(func=_cmd_scenarios)
 

@@ -37,8 +37,9 @@ seeded executions are unaffected):
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 #: Moduli at most this many bits precompute the fixed-base table on first
 #: use (the build is ~1k multiplications — microseconds at test sizes).
@@ -75,11 +76,28 @@ class SchnorrGroup:
         if self.g in (0, 1):
             raise ValueError("degenerate generator")
         # Acceleration state (not dataclass fields: excluded from eq/hash/repr).
+        # A group instance is shared across SessionPool thread workers, so
+        # lazy population of these caches is guarded by ``_accel_lock``;
+        # reads stay lock-free (once set, the table never changes, and the
+        # encoding cache only ever gains idempotently-computed entries).
         object.__setattr__(self, "_width", (self.p.bit_length() + 7) // 8)
         object.__setattr__(self, "_fb_table", None)
         object.__setattr__(self, "_fb_window", 0)
         object.__setattr__(self, "_fb_calls", 0)
         object.__setattr__(self, "_encoding_cache", {})
+        object.__setattr__(self, "_accel_lock", threading.Lock())
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Process workers receive groups by value (e.g. inside runner
+        # kwargs); ship only the mathematical identity — locks don't
+        # pickle, and each worker rebuilds its caches (or pre-warms them
+        # via :func:`warm_groups` in the pool initializer).
+        return {"p": self.p, "q": self.q, "g": self.g}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+        self.__post_init__()
 
     # -- group operations ------------------------------------------------
 
@@ -130,38 +148,61 @@ class SchnorrGroup:
         encoded = cache.get(a)
         if encoded is None:
             encoded = a.to_bytes(self._width, "big")
+            # Population is idempotent (the encoding is a pure function of
+            # the element), so concurrent computes agree; the insertion is
+            # locked only to keep the size bound exact under thread races,
+            # and once the cache is full misses never touch the lock.
             if len(cache) < _ENCODING_CACHE_MAX:
-                cache[a] = encoded
+                with self._accel_lock:
+                    if len(cache) < _ENCODING_CACHE_MAX:
+                        cache[a] = encoded
         return encoded
 
     # -- fixed-base acceleration ------------------------------------------
 
+    def warm_up(self) -> "SchnorrGroup":
+        """Eagerly build every lazy cache this group carries.
+
+        Worker initializers call this once per process so pooled sessions
+        never pay table construction mid-trial; safe to call repeatedly
+        and from concurrent threads.
+        """
+        self.precompute_fixed_base()
+        self.element_to_bytes(1)
+        self.element_to_bytes(self.g)
+        return self
+
     def precompute_fixed_base(self, window: Optional[int] = None) -> None:
         """Build the fixed-base window table for :meth:`power_of_g`.
 
-        Idempotent.  ``window`` is the digit width in bits; the default
-        balances table-build cost against per-exponentiation savings for
-        the group's modulus size.
+        Idempotent and thread-safe: concurrent callers race only on who
+        builds, never on a half-built table (the window width is published
+        before the table, and readers gate on the table).  ``window`` is
+        the digit width in bits; the default balances table-build cost
+        against per-exponentiation savings for the group's modulus size.
         """
         if self._fb_table is not None:
             return
         w = window if window is not None else (6 if self.p.bit_length() <= 1024 else 5)
         if w < 1:
             raise ValueError("window must be >= 1")
-        windows = (self.q.bit_length() + w - 1) // w
-        p = self.p
-        table: List[List[int]] = []
-        base = self.g
-        for _ in range(windows):
-            row = [1] * (1 << w)
-            acc = 1
-            for digit in range(1, 1 << w):
-                acc = acc * base % p
-                row[digit] = acc
-            table.append(row)
-            base = acc * base % p  # base ** (2 ** w)
-        object.__setattr__(self, "_fb_window", w)
-        object.__setattr__(self, "_fb_table", table)
+        with self._accel_lock:
+            if self._fb_table is not None:
+                return
+            windows = (self.q.bit_length() + w - 1) // w
+            p = self.p
+            table: List[List[int]] = []
+            base = self.g
+            for _ in range(windows):
+                row = [1] * (1 << w)
+                acc = 1
+                for digit in range(1, 1 << w):
+                    acc = acc * base % p
+                    row[digit] = acc
+                table.append(row)
+                base = acc * base % p  # base ** (2 ** w)
+            object.__setattr__(self, "_fb_window", w)
+            object.__setattr__(self, "_fb_table", table)
 
     def _fixed_base_pow(self, e: int) -> int:
         """``g ** e`` via the window table (``e`` already reduced mod q)."""
@@ -308,3 +349,18 @@ _P_2048 = int(
     16,
 )
 GROUP_2048 = SchnorrGroup(p=_P_2048, q=(_P_2048 - 1) // 2, g=4)
+
+
+def warm_groups(include_large: bool = False) -> None:
+    """Pre-warm the shipped parameter sets' acceleration caches.
+
+    The process-pool worker initializer calls this so every worker starts
+    with the :data:`TEST_GROUP` fixed-base window table and encoding cache
+    already built, instead of each trial paying construction on first use.
+    ``include_large`` also warms :data:`GROUP_2048` (a few thousand
+    2048-bit multiplications — only worth it for production-parameter
+    sweeps).
+    """
+    TEST_GROUP.warm_up()
+    if include_large:
+        GROUP_2048.warm_up()

@@ -12,7 +12,11 @@ the clock — :mod:`repro.uc`) from *how* an execution is driven:
   queues drained in batches instead of per-message callbacks;
 * :class:`~repro.runtime.pool.SessionPool` — N independent sessions
   (seed sweeps, repeated executions) through one driver, inline or via
-  ``concurrent.futures`` workers.
+  ``concurrent.futures`` workers with chunked dispatch and per-worker
+  crypto warm-up;
+* :class:`~repro.runtime.sweep.ParallelSweep` — the multi-core sweep
+  driver: plans worker/chunk shape for any ``(runner, task list)``
+  workload and verifies digest equality against the inline reference.
 
 The ``sequential`` backend is the default everywhere and reproduces the
 pre-runtime engine byte-for-byte (same seed, same trace).
@@ -36,14 +40,20 @@ from repro.runtime.pool import (
     PoolReport,
     SessionPool,
     TraceDigestUnavailable,
+    TrialDisagreement,
     TrialResult,
+    auto_chunksize,
+    canonical_detail,
     compare_trace_digests,
+    ensure_agreement,
     reports_match,
+    resolve_workers,
     run_sbc_trial,
     sequential_loop,
     trace_digest,
 )
 from repro.runtime.scheduler import BatchScheduler
+from repro.runtime.sweep import ParallelSweep, SweepPlan, SweepVerification
 
 __all__ = [
     "BATCHED",
@@ -51,18 +61,26 @@ __all__ = [
     "BatchedRoundDriver",
     "ExecutionBackend",
     "POOLED",
+    "ParallelSweep",
     "PoolReport",
     "RoundDriver",
     "SEQUENTIAL",
     "SequentialRoundDriver",
     "SessionPool",
+    "SweepPlan",
+    "SweepVerification",
     "TraceDigestUnavailable",
+    "TrialDisagreement",
     "TrialResult",
+    "auto_chunksize",
     "available_backends",
+    "canonical_detail",
     "compare_trace_digests",
+    "ensure_agreement",
     "get_backend",
     "register_backend",
     "reports_match",
+    "resolve_workers",
     "run_sbc_trial",
     "sequential_loop",
     "trace_digest",

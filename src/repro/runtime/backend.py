@@ -66,6 +66,19 @@ class ExecutionBackend:
             raise ValueError(f"trace must be one of {list(TRACE_MODES)}, got {trace!r}")
         return replace(self, trace=trace)
 
+    def warm_up(self) -> "ExecutionBackend":
+        """Pre-build the process-wide caches sessions under this backend use.
+
+        Called once per worker by the pool initializer (and usable inline
+        before timing-sensitive runs): warms the shared crypto
+        acceleration caches so no session pays lazy construction mid-run.
+        Custom backends with extra per-process state can extend this.
+        """
+        from repro.crypto.groups import warm_groups
+
+        warm_groups()
+        return self
+
 
 SEQUENTIAL = ExecutionBackend(
     name="sequential",

@@ -12,6 +12,7 @@ pooled and sequential runs can be byte-compared.
 from __future__ import annotations
 
 import hashlib
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
@@ -19,12 +20,42 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Unio
 from repro.runtime.backend import ExecutionBackend, get_backend
 
 
+def canonical_detail(obj: Any) -> str:
+    """Canonical, cross-process-stable rendering of an event detail.
+
+    ``repr`` is not canonical for dicts (insertion-ordered) or sets
+    (iteration order depends on ``PYTHONHASHSEED``), so hashing it could
+    make byte-identical executions digest differently across processes.
+    This serializer renders dicts/sets with sorted entries and everything
+    else exactly as ``repr`` does — so digests over the historical
+    int/bytes/str/tuple details are unchanged (the golden digests in
+    ``tests/test_runtime.py`` still hold).
+    """
+    if isinstance(obj, tuple):
+        inner = ", ".join(canonical_detail(item) for item in obj)
+        return f"({inner},)" if len(obj) == 1 else f"({inner})"
+    if isinstance(obj, list):
+        return "[" + ", ".join(canonical_detail(item) for item in obj) + "]"
+    if isinstance(obj, dict):
+        items = sorted(
+            (canonical_detail(key), canonical_detail(value))
+            for key, value in obj.items()
+        )
+        return "{" + ", ".join(f"{key}: {value}" for key, value in items) + "}"
+    if isinstance(obj, frozenset):
+        return "frozenset(" + canonical_detail(set(obj)) + ")" if obj else "frozenset()"
+    if isinstance(obj, set):
+        return "{" + ", ".join(sorted(canonical_detail(item) for item in obj)) + "}" if obj else "set()"
+    return repr(obj)
+
+
 def trace_digest(log) -> str:
     """Deterministic SHA-256 digest of an :class:`~repro.uc.trace.EventLog`.
 
     Hashes the ``(seq, time, kind, source, detail)`` tuples in execution
-    order; two sessions with byte-identical traces digest equally, across
-    processes (event details are reprs of ints/bytes/strings/tuples only).
+    order under :func:`canonical_detail`, so two sessions with identical
+    traces digest equally even across processes with different hash seeds
+    or dict insertion histories.
 
     Returns ``""`` for a trace-off (``light``) log — a constant hash there
     would make distinct executions compare equal, which is exactly the
@@ -36,7 +67,11 @@ def trace_digest(log) -> str:
         return ""
     h = hashlib.sha256()
     for event in log:
-        h.update(repr((event.seq, event.time, event.kind, event.source, event.detail)).encode())
+        h.update(
+            canonical_detail(
+                (event.seq, event.time, event.kind, event.source, event.detail)
+            ).encode()
+        )
     return h.hexdigest()
 
 
@@ -71,9 +106,15 @@ def reports_match(left: "PoolReport", right: "PoolReport") -> bool:
     """Seed-for-seed digest comparison of two pool reports.
 
     Raises:
-        ValueError: the reports cover different numbers of trials.
+        ValueError: either report is empty (a zero-trial comparison would
+            vacuously "match" any other empty run) or the reports cover
+            different numbers of trials.
         TraceDigestUnavailable: any trial pair is empty on both sides.
     """
+    if not left.results or not right.results:
+        raise ValueError(
+            "cannot compare empty pool reports (zero trials match vacuously)"
+        )
     if len(left.results) != len(right.results):
         raise ValueError(
             f"reports cover {len(left.results)} vs {len(right.results)} trials"
@@ -105,6 +146,43 @@ class TrialResult:
     outputs: Any = None
 
 
+class TrialDisagreement(AssertionError):
+    """Honest parties of one pooled trial delivered different outputs.
+
+    Agreement is the protocol's core guarantee; a pooled sweep that only
+    summarised one party's view could silently archive a disagreeing
+    execution.  Trial runners call :func:`ensure_agreement` before
+    summarising so such a trial aborts the sweep loudly instead.
+    """
+
+
+def ensure_agreement(delivered: Dict[str, Any], seed: Optional[int] = None) -> Any:
+    """Assert every party's delivered view matches; return the common view.
+
+    Args:
+        delivered: pid -> delivered outputs (honest parties only).
+        seed: Optional trial seed, included in the error message.
+
+    Raises:
+        ValueError: ``delivered`` is empty (no honest view to agree on).
+        TrialDisagreement: at least two parties delivered different views.
+    """
+    if not delivered:
+        raise ValueError("no delivered views: cannot check agreement")
+    items = sorted(delivered.items())
+    reference_pid, reference = items[0]
+    disagreeing = {
+        pid: view for pid, view in items[1:] if view != reference
+    }
+    if disagreeing:
+        trial = f" (seed={seed})" if seed is not None else ""
+        raise TrialDisagreement(
+            f"honest parties disagree{trial}: {reference_pid}={reference!r} "
+            f"vs {disagreeing!r}"
+        )
+    return reference
+
+
 def run_sbc_trial(
     seed: int,
     n: int = 3,
@@ -131,13 +209,19 @@ def run_sbc_trial(
     stack.run_until_delivery()
     elapsed = time.perf_counter() - start
     delivered = stack.delivered()
+    honest_views = {
+        pid: batch
+        for pid, batch in delivered.items()
+        if not stack.session.is_corrupted(pid)
+    }
+    agreed = ensure_agreement(honest_views, seed=seed)
     return TrialResult(
         seed=seed,
         wall_time_s=elapsed,
         rounds=stack.session.metrics.get("rounds.advanced"),
         messages=stack.session.metrics.get("messages.total"),
         digest=trace_digest(stack.session.log),
-        outputs=repr(delivered["P0"]),
+        outputs=repr(agreed),
     )
 
 
@@ -149,6 +233,9 @@ class PoolReport:
     executor: str
     wall_time_s: float
     results: List[TrialResult] = field(default_factory=list)
+    #: Worker count / chunk size actually used (None for inline runs).
+    workers: Optional[int] = None
+    chunksize: Optional[int] = None
 
     @property
     def sessions(self) -> int:
@@ -163,8 +250,15 @@ class PoolReport:
         return sum(result.messages for result in self.results)
 
     def summary(self) -> Dict[str, Any]:
-        """Uniform record for benchmark JSON emission."""
-        return {
+        """Uniform record for benchmark JSON emission.
+
+        Raises:
+            ValueError: the report is empty — ``sessions=0`` rows have
+                repeatedly masked sweeps that silently ran nothing.
+        """
+        if not self.results:
+            raise ValueError("empty pool report: the sweep executed no trials")
+        record = {
             "backend": self.backend,
             "executor": self.executor,
             "sessions": self.sessions,
@@ -172,6 +266,51 @@ class PoolReport:
             "rounds": self.total_rounds,
             "messages": self.total_messages,
         }
+        if self.workers is not None:
+            record["workers"] = self.workers
+        if self.chunksize is not None:
+            record["chunksize"] = self.chunksize
+        return record
+
+
+#: Target task chunks per worker for auto-chunked process fan-out; a few
+#: chunks per worker amortise IPC while still balancing uneven trials.
+CHUNKS_PER_WORKER = 4
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Effective worker count: the explicit value or every available core."""
+    if workers is not None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        return workers
+    return os.cpu_count() or 1
+
+
+def auto_chunksize(tasks: int, workers: int) -> int:
+    """Chunk size yielding ~:data:`CHUNKS_PER_WORKER` chunks per worker.
+
+    One task per IPC round-trip (``chunksize=1``) dominates small-session
+    sweeps with pickling overhead; one chunk per worker loses load
+    balancing.  The middle ground ships ceil(tasks / (workers * 4)) tasks
+    per dispatch.
+    """
+    if tasks <= 0:
+        return 1
+    return max(1, -(-tasks // (max(1, workers) * CHUNKS_PER_WORKER)))
+
+
+def _warm_worker(backend: Union[str, ExecutionBackend, None] = None) -> None:
+    """Process-pool initializer: pre-build shared per-process caches.
+
+    Runs once per worker process via the backend's
+    :meth:`~repro.runtime.backend.ExecutionBackend.warm_up` hook, so every
+    trial dispatched to the worker finds the fixed-base window tables and
+    encoding caches already populated instead of paying table construction
+    inside its first session.  Module-level (hence picklable) by
+    construction.
+    """
+    get_backend(backend).warm_up()
 
 
 class SessionPool:
@@ -186,7 +325,15 @@ class SessionPool:
             overhead), ``"thread"`` or ``"process"`` for
             ``concurrent.futures`` fan-out.  Process workers only pay off
             with real cores and chunky sessions.
-        workers: Worker count for the concurrent executors.
+        workers: Worker count for the concurrent executors (default: all
+            cores for processes, the executor default for threads).
+        chunksize: Tasks shipped per process dispatch (default: auto via
+            :func:`auto_chunksize`).  Ignored by inline/thread executors.
+        max_tasks_per_child: Recycle each process worker after this many
+            tasks (bounds per-worker memory growth on long sweeps).
+            ``None`` reuses workers for the whole sweep.
+        warmup: Run the shared-crypto warm-up initializer in each process
+            worker (default True; set False to measure cold workers).
         trace: Optional trace-mode override forwarded to the runner
             (``"light"`` turns the EventLog off for throughput runs).
     """
@@ -197,15 +344,27 @@ class SessionPool:
         backend: Union[str, ExecutionBackend] = "pooled",
         executor: str = "inline",
         workers: Optional[int] = None,
+        chunksize: Optional[int] = None,
+        max_tasks_per_child: Optional[int] = None,
+        warmup: bool = True,
         trace: Optional[str] = None,
         **runner_kwargs: Any,
     ) -> None:
         if executor not in ("inline", "thread", "process"):
             raise ValueError(f"executor must be inline/thread/process, got {executor!r}")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        if max_tasks_per_child is not None and max_tasks_per_child < 1:
+            raise ValueError(
+                f"max_tasks_per_child must be >= 1, got {max_tasks_per_child}"
+            )
         self.runner = runner
         self.backend = get_backend(backend)
         self.executor = executor
         self.workers = workers
+        self.chunksize = chunksize
+        self.max_tasks_per_child = max_tasks_per_child
+        self.warmup = warmup
         self.trace = trace
         self.runner_kwargs = dict(runner_kwargs)
 
@@ -219,31 +378,84 @@ class SessionPool:
             kwargs.setdefault("trace", self.trace)
         return kwargs
 
+    def _process_map(
+        self, bound: Callable[..., TrialResult], seeds: Sequence[int], chunksize: int, workers: int
+    ) -> List[TrialResult]:
+        """Chunked process fan-out; input order preserved.
+
+        Worker recycling goes through ``multiprocessing.Pool`` — its
+        ``maxtasksperchild`` is an exact per-worker bound, available on
+        every supported Python, and unlike
+        ``ProcessPoolExecutor(max_tasks_per_child=...)`` (3.11+, and
+        observed to deadlock on recycle in 3.11.7) it restarts workers
+        reliably.  The plain sweep path uses ``ProcessPoolExecutor``.
+        """
+        if self.max_tasks_per_child is not None:
+            import multiprocessing
+
+            # Pool counts one *chunk* as one task, so the per-worker bound
+            # must be expressed in chunk units; run() already clamps the
+            # chunk size to max_tasks_per_child, and flooring here keeps
+            # the per-worker trial count at or under the requested bound.
+            chunks_per_child = max(1, self.max_tasks_per_child // chunksize)
+            with multiprocessing.Pool(
+                processes=workers,
+                initializer=_warm_worker if self.warmup else None,
+                initargs=(self.backend,) if self.warmup else (),
+                maxtasksperchild=chunks_per_child,
+            ) as pool:
+                return pool.map(bound, seeds, chunksize=chunksize)
+        import concurrent.futures as futures
+
+        pool_kwargs: Dict[str, Any] = {"max_workers": workers}
+        if self.warmup:
+            pool_kwargs["initializer"] = _warm_worker
+            pool_kwargs["initargs"] = (self.backend,)
+        with futures.ProcessPoolExecutor(**pool_kwargs) as pool:
+            return list(pool.map(bound, seeds, chunksize=chunksize))
+
     def run(self, seeds: Iterable[int]) -> PoolReport:
-        """Execute one trial per seed; returns the aggregate report."""
+        """Execute one trial per seed; returns the aggregate report.
+
+        Results always come back in seed order, whatever the executor —
+        ``Executor.map`` preserves input order — so seed-for-seed digest
+        comparison against an inline run needs no re-sorting.
+        """
         seeds = list(seeds)
         kwargs = self._call_kwargs()
+        used_workers: Optional[int] = None
+        used_chunksize: Optional[int] = None
         start = time.perf_counter()
         if self.executor == "inline":
             results = [self.runner(seed, **kwargs) for seed in seeds]
         else:
-            import concurrent.futures as futures
             import functools
 
-            pool_cls = (
-                futures.ThreadPoolExecutor
-                if self.executor == "thread"
-                else futures.ProcessPoolExecutor
-            )
             bound = functools.partial(self.runner, **kwargs)
-            with pool_cls(max_workers=self.workers) as pool:
-                results = list(pool.map(bound, seeds))
+            if self.executor == "thread":
+                import concurrent.futures as futures
+
+                used_workers = self.workers
+                with futures.ThreadPoolExecutor(max_workers=self.workers) as pool:
+                    results = list(pool.map(bound, seeds))
+            else:
+                used_workers = resolve_workers(self.workers)
+                used_chunksize = self.chunksize or auto_chunksize(
+                    len(seeds), used_workers
+                )
+                if self.max_tasks_per_child is not None:
+                    # A chunk larger than the recycle bound could never be
+                    # dispatched without exceeding it.
+                    used_chunksize = min(used_chunksize, self.max_tasks_per_child)
+                results = self._process_map(bound, seeds, used_chunksize, used_workers)
         elapsed = time.perf_counter() - start
         return PoolReport(
             backend=self.backend.name,
             executor=self.executor,
             wall_time_s=elapsed,
             results=results,
+            workers=used_workers,
+            chunksize=used_chunksize,
         )
 
 

@@ -1,0 +1,185 @@
+"""Multi-core sweep engine: shard one workload across process workers.
+
+:class:`~repro.runtime.pool.SessionPool` knows how to fan a trial runner
+out over inline/thread/process executors; :class:`ParallelSweep` is the
+driver that turns that into a *planned* multi-core sweep for any
+``(runner, task list)`` workload — repeated SBC trials, scenario-matrix
+cells (each task is an index into a spec list), bench sweeps:
+
+* it resolves an explicit or automatic chunk size (a few chunks per
+  worker, so IPC is amortised without losing load balancing) and worker
+  count, and exposes the resolved :class:`SweepPlan` for reports;
+* every process worker runs the shared crypto warm-up initializer before
+  its first task, so no trial pays fixed-base table construction;
+* results keep deterministic task order whatever the executor, and
+  :meth:`ParallelSweep.verify` re-runs the same tasks inline and checks
+  seed-for-seed trace-digest equality — the determinism contract held by
+  the single-core engine, now enforced across process boundaries.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Optional, Union
+
+from repro.runtime.backend import ExecutionBackend
+from repro.runtime.pool import (
+    PoolReport,
+    SessionPool,
+    TrialResult,
+    auto_chunksize,
+    reports_match,
+    resolve_workers,
+    run_sbc_trial,
+)
+
+__all__ = ["ParallelSweep", "SweepPlan", "SweepVerification"]
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """The resolved execution shape of one sweep."""
+
+    tasks: int
+    executor: str
+    workers: int
+    chunksize: int
+    max_tasks_per_child: Optional[int] = None
+    warmup: bool = True
+
+    @property
+    def chunks(self) -> int:
+        """Number of dispatch units the task list shards into."""
+        return -(-self.tasks // self.chunksize) if self.tasks else 0
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "tasks": self.tasks,
+            "executor": self.executor,
+            "workers": self.workers,
+            "chunksize": self.chunksize,
+            "chunks": self.chunks,
+            "max_tasks_per_child": self.max_tasks_per_child,
+            "warmup": self.warmup,
+        }
+
+
+@dataclass
+class SweepVerification:
+    """A sweep report plus its inline reference and the digest verdict."""
+
+    report: PoolReport
+    reference: PoolReport
+    matched: bool
+
+    @property
+    def speedup(self) -> float:
+        """Inline wall time over sweep wall time (>1 means the sweep won)."""
+        return self.reference.wall_time_s / max(self.report.wall_time_s, 1e-9)
+
+
+class ParallelSweep:
+    """Shard a ``(runner, task list)`` workload across worker processes.
+
+    Args:
+        runner: Module-level ``runner(task, **kwargs) -> TrialResult``;
+            tasks are whatever the runner indexes by — seeds for protocol
+            trials, list indices for scenario cells.
+        backend: Execution backend forwarded into every trial.
+        executor: ``"process"`` (default), ``"thread"`` or ``"inline"``
+            (useful to keep one code path for both modes).
+        workers: Worker processes (default: every available core).
+        chunksize: Tasks per process dispatch (default: automatic).
+        max_tasks_per_child: Recycle workers after this many tasks.
+        warmup: Pre-warm crypto caches in each worker (default True).
+        trace: Trace-mode override forwarded to the runner.
+        runner_kwargs: Extra keyword arguments forwarded to the runner
+            (e.g. ``specs=`` for the scenario-cell runner).
+    """
+
+    def __init__(
+        self,
+        runner: Callable[..., TrialResult] = run_sbc_trial,
+        backend: Union[str, ExecutionBackend] = "pooled",
+        executor: str = "process",
+        workers: Optional[int] = None,
+        chunksize: Optional[int] = None,
+        max_tasks_per_child: Optional[int] = None,
+        warmup: bool = True,
+        trace: Optional[str] = None,
+        **runner_kwargs: Any,
+    ) -> None:
+        # SessionPool validates executor/chunksize/max_tasks_per_child up
+        # front, so a bad sweep fails at construction, not mid-fan-out.
+        self._pool = SessionPool(
+            runner=runner,
+            backend=backend,
+            executor=executor,
+            workers=workers,
+            chunksize=chunksize,
+            max_tasks_per_child=max_tasks_per_child,
+            warmup=warmup,
+            trace=trace,
+            **runner_kwargs,
+        )
+
+    @property
+    def executor(self) -> str:
+        return self._pool.executor
+
+    def plan(self, tasks: int) -> SweepPlan:
+        """The execution shape :meth:`run` will use for ``tasks`` tasks."""
+        executor = self._pool.executor
+        if executor == "process":
+            workers = resolve_workers(self._pool.workers)
+            chunksize = self._pool.chunksize or auto_chunksize(tasks, workers)
+            if self._pool.max_tasks_per_child is not None:
+                chunksize = min(chunksize, self._pool.max_tasks_per_child)
+        elif executor == "thread":
+            # ThreadPoolExecutor's documented default when max_workers is
+            # None; tasks interleave on these threads, chunking is moot.
+            workers = self._pool.workers or min(32, (os.cpu_count() or 1) + 4)
+            chunksize = 1
+        else:
+            workers = 1
+            chunksize = 1
+        return SweepPlan(
+            tasks=tasks,
+            executor=self._pool.executor,
+            workers=workers,
+            chunksize=chunksize,
+            max_tasks_per_child=self._pool.max_tasks_per_child,
+            warmup=self._pool.warmup,
+        )
+
+    def run(self, tasks: Iterable[Any]) -> PoolReport:
+        """Execute every task; results come back in task order."""
+        return self._pool.run(tasks)
+
+    def _inline_reference(self) -> SessionPool:
+        """An inline pool with identical runner/backend/trace settings."""
+        return SessionPool(
+            runner=self._pool.runner,
+            backend=self._pool.backend,
+            executor="inline",
+            trace=self._pool.trace,
+            **self._pool.runner_kwargs,
+        )
+
+    def verify(self, tasks: Iterable[Any]) -> SweepVerification:
+        """Run the sweep *and* the inline reference; compare digests.
+
+        Raises:
+            ValueError: the task list is empty.
+            TraceDigestUnavailable: the sweep ran trace-off (``light``),
+                so there are no digests to compare.
+        """
+        tasks = list(tasks)
+        report = self.run(tasks)
+        reference = self._inline_reference().run(tasks)
+        return SweepVerification(
+            report=report,
+            reference=reference,
+            matched=reports_match(report, reference),
+        )

@@ -16,7 +16,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.runtime.pool import SessionPool, TrialResult, compare_trace_digests, trace_digest
+from repro.runtime.pool import TrialResult, compare_trace_digests, trace_digest
+from repro.runtime.sweep import ParallelSweep
 from repro.scenarios.adversaries import make_adversary
 from repro.scenarios.faults import FaultPlan
 from repro.scenarios.properties import PropertyResult, evaluate
@@ -530,17 +531,26 @@ def run_matrix(
     specs: Iterable[ScenarioSpec],
     executor: str = "inline",
     workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    max_tasks_per_child: Optional[int] = None,
 ) -> MatrixReport:
-    """Execute every cell through a :class:`SessionPool` sweep."""
+    """Execute every cell through a :class:`ParallelSweep`.
+
+    Cells are dispatched by index into ``specs`` (the cell pins its own
+    backend and seed), so results — and therefore the report's cell
+    order — match the spec order under every executor.
+    """
     specs = tuple(specs)
-    pool = SessionPool(
+    sweep = ParallelSweep(
         runner=run_scenario_trial,
         backend="sequential",
         executor=executor,
         workers=workers,
+        chunksize=chunksize,
+        max_tasks_per_child=max_tasks_per_child,
         specs=specs,
     )
-    report = pool.run(range(len(specs)))
+    report = sweep.run(range(len(specs)))
     return MatrixReport(
         cells=[trial.outputs for trial in report.results],
         executor=executor,

@@ -59,3 +59,30 @@ def test_deterministic_given_seed(capsys):
     main(["beacon", "--seed", "9"])
     second = capsys.readouterr().out
     assert first == second
+
+
+def test_sweep_command_inline(capsys):
+    assert main([
+        "sweep", "--sessions", "3", "--n", "3", "--executor", "inline",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "sweep plan" in out and "per-session" in out
+
+
+def test_sweep_command_process_verify(capsys):
+    assert main([
+        "sweep", "--sessions", "4", "--n", "3", "--executor", "process",
+        "--workers", "2", "--chunksize", "2", "--verify",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "trace digests match inline reference, seed for seed: yes" in out
+    assert "forcing --trace full" in out  # light default upgraded for --verify
+
+
+def test_bench_command_process_executor(capsys):
+    assert main([
+        "bench", "--sessions", "4", "--n", "3", "--executor", "process",
+        "--workers", "2", "--chunksize", "2", "--trace", "full", "--compare",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "trace digests match sequential reference: yes" in out

@@ -92,3 +92,74 @@ def test_discrete_log_out_of_bound():
 def test_bad_generator_rejected():
     with pytest.raises(ValueError):
         SchnorrGroup(p=23, q=11, g=1)
+
+
+# ---------------------------------------------------------------------------
+# Cache thread-safety and pickling (shared instances under SessionPool)
+# ---------------------------------------------------------------------------
+
+
+def _cold_group() -> SchnorrGroup:
+    return SchnorrGroup(p=TEST_GROUP.p, q=TEST_GROUP.q, g=TEST_GROUP.g)
+
+
+def test_lazy_caches_thread_safe_under_stress():
+    # One cold group hammered by 8 threads released simultaneously: the
+    # fixed-base table build and the encoding-cache population race on
+    # first use, and every accelerated result must still be exact.
+    import random
+    import threading
+
+    group = _cold_group()
+    barrier = threading.Barrier(8)
+    failures = []
+
+    def worker(seed: int) -> None:
+        rng = random.Random(seed)
+        barrier.wait()  # maximise contention on the cold caches
+        for _ in range(40):
+            e = rng.randrange(group.q)
+            value = group.power_of_g(e)
+            if value != pow(group.g, e, group.p):
+                failures.append(("pow", seed, e))
+            encoded = group.element_to_bytes(value)
+            if int.from_bytes(encoded, "big") != value:
+                failures.append(("encode", seed, e))
+
+    threads = [threading.Thread(target=worker, args=(seed,)) for seed in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not failures
+    assert group._fb_table is not None  # the table was built exactly once
+
+
+def test_warm_up_idempotent_and_concurrent():
+    import threading
+
+    group = _cold_group()
+    threads = [threading.Thread(target=group.warm_up) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    table = group._fb_table
+    assert table is not None
+    group.warm_up()
+    assert group._fb_table is table  # second pass reuses, never rebuilds
+
+
+def test_group_pickles_without_acceleration_state():
+    # Process workers receive groups by value; locks don't pickle, so the
+    # reduced state is the (p, q, g) identity and caches rebuild cold.
+    import pickle
+
+    group = _cold_group()
+    group.warm_up()
+    clone = pickle.loads(pickle.dumps(group))
+    assert clone == group
+    assert clone._fb_table is None  # caches did not travel
+    assert clone.power_of_g(12345) == group.power_of_g(12345)
+    clone.warm_up()
+    assert clone._fb_table is not None

@@ -45,8 +45,13 @@ GOLDEN_SBC_COMPOSED = {
 GOLDEN_SBC_HYBRID_SEED5 = (
     "65fca327855e32b290cebe6612eb30adcaf320a26e4766408cf2e83e003667cc"
 )
+# Re-derived when trace_digest moved from repr to canonical_detail: the
+# voting trace carries the tally as a dict, whose repr depends on
+# insertion order (the non-canonical rendering the digest fix removes).
+# The underlying event trace is unchanged — only that dict's rendering is
+# now sorted; the SBC goldens above were unaffected (tuple-only details).
 GOLDEN_VOTING_HYBRID_SEED3 = (
-    "e1e2588643b28e217c592dd9e15beb9c9dcab7fca8ddf70c86e5443f41382d42"
+    "f4297794b2609f4281fe15fb8c19b7ba798a22e7bb6798bd28e87373a8c89af7"
 )
 
 
@@ -387,3 +392,182 @@ def test_element_encoding_cached():
     assert group.element_to_bytes(element) is first  # memoised
     assert int.from_bytes(first, "big") == element
     assert len(first) == (group.p.bit_length() + 7) // 8
+
+
+# ---------------------------------------------------------------------------
+# Canonical trace digests (cross-process stability)
+# ---------------------------------------------------------------------------
+
+
+def test_canonical_detail_matches_repr_for_simple_payloads():
+    from repro.runtime import canonical_detail
+
+    # The historical digest hashed repr() of these shapes; canonical_detail
+    # must render them identically so pre-fix golden digests keep holding.
+    for payload in (
+        None, 7, -1, "text", b"bytes", (1, b"m", "P0"), ("one",), (),
+        [1, 2], [], (1, (2, (3,))), "quote'and\"quote",
+    ):
+        assert canonical_detail(payload) == repr(payload)
+
+
+def test_canonical_detail_sorts_dicts_and_sets():
+    from repro.runtime import canonical_detail
+
+    assert canonical_detail({"b": 1, "a": 2}) == canonical_detail({"a": 2, "b": 1})
+    assert canonical_detail({"a": 2, "b": 1}) == "{'a': 2, 'b': 1}"
+    assert canonical_detail({2, 1, 3}) == "{1, 2, 3}"
+    assert canonical_detail(frozenset((2, 1))) == "frozenset({1, 2})"
+    assert canonical_detail(set()) == "set()"
+    assert canonical_detail(frozenset()) == "frozenset()"
+    # Nested inside the tuple shape events actually use.
+    assert canonical_detail(("Result", {"yes": 2, "no": 1}, None)) == (
+        "('Result', {'no': 1, 'yes': 2}, None)"
+    )
+
+
+def test_trace_digest_stable_across_dict_insertion_orders():
+    from repro.uc.trace import EventLog
+
+    forward = EventLog()
+    forward.record(0, "output", "P0", {"yes": 2, "no": 1})
+    backward = EventLog()
+    backward.record(0, "output", "P0", {"no": 1, "yes": 2})
+    assert trace_digest(forward) == trace_digest(backward)
+    # repr-hashing (the pre-fix digest) would have diverged here:
+    assert repr({"yes": 2, "no": 1}) != repr({"no": 1, "yes": 2})
+
+
+# ---------------------------------------------------------------------------
+# Empty pool reports must be loud, never vacuous
+# ---------------------------------------------------------------------------
+
+
+def test_empty_pool_report_summary_raises():
+    from repro.runtime import PoolReport
+
+    empty = PoolReport(backend="pooled", executor="inline", wall_time_s=0.0)
+    with pytest.raises(ValueError, match="no trials"):
+        empty.summary()
+
+
+def test_reports_match_rejects_empty_reports():
+    from repro.runtime import PoolReport, reports_match
+
+    empty = PoolReport(backend="pooled", executor="inline", wall_time_s=0.0)
+    full = SessionPool(backend="pooled", n=3, mode="hybrid").run([0])
+    with pytest.raises(ValueError, match="empty"):
+        reports_match(empty, empty)
+    with pytest.raises(ValueError, match="empty"):
+        reports_match(empty, full)
+    assert reports_match(full, full)
+
+
+# ---------------------------------------------------------------------------
+# Cross-party agreement inside pooled trials
+# ---------------------------------------------------------------------------
+
+
+def test_ensure_agreement_returns_common_view():
+    from repro.runtime import ensure_agreement
+
+    view = [b"m0", b"m1"]
+    assert ensure_agreement({"P0": list(view), "P1": list(view)}) == view
+    with pytest.raises(ValueError, match="no delivered views"):
+        ensure_agreement({})
+
+
+def test_ensure_agreement_flags_disagreeing_party():
+    from repro.runtime import TrialDisagreement, ensure_agreement
+
+    with pytest.raises(TrialDisagreement, match="P2"):
+        ensure_agreement(
+            {"P0": [b"m"], "P1": [b"m"], "P2": [b"forged"]}, seed=13
+        )
+
+
+def test_run_sbc_trial_catches_disagreeing_stack(monkeypatch):
+    # A trial whose stack delivers different batches to different parties
+    # must abort the sweep, not archive P0's view as "the" output.
+    import repro.core.stacks as stacks
+
+    from repro.runtime import TrialDisagreement
+
+    real_build = stacks.build_sbc_stack
+
+    class _TamperedStack:
+        def __init__(self, stack):
+            self._stack = stack
+
+        def __getattr__(self, name):
+            return getattr(self._stack, name)
+
+        def delivered(self):
+            views = dict(self._stack.delivered())
+            victim = sorted(views)[-1]
+            views[victim] = (views[victim] or []) + [b"forged"]
+            return views
+
+    monkeypatch.setattr(
+        stacks, "build_sbc_stack", lambda **kw: _TamperedStack(real_build(**kw))
+    )
+    with pytest.raises(TrialDisagreement):
+        run_sbc_trial(3, n=3, mode="hybrid")
+
+
+# ---------------------------------------------------------------------------
+# Chunked process fan-out
+# ---------------------------------------------------------------------------
+
+
+def test_auto_chunksize_targets_chunks_per_worker():
+    from repro.runtime import auto_chunksize
+
+    assert auto_chunksize(64, 4) == 4   # 16 chunks for 4 workers
+    assert auto_chunksize(7, 4) == 1
+    assert auto_chunksize(0, 4) == 1
+    assert auto_chunksize(1000, 1) == 250
+
+
+def test_resolve_workers_validation():
+    from repro.runtime import resolve_workers
+
+    assert resolve_workers(3) == 3
+    assert resolve_workers(None) >= 1
+    with pytest.raises(ValueError):
+        resolve_workers(0)
+
+
+def test_session_pool_rejects_bad_fanout_config():
+    with pytest.raises(ValueError, match="chunksize"):
+        SessionPool(chunksize=0)
+    with pytest.raises(ValueError, match="max_tasks_per_child"):
+        SessionPool(max_tasks_per_child=0)
+    with pytest.raises(ValueError, match="executor"):
+        SessionPool(executor="fiber")
+
+
+def test_session_pool_process_executor_digests_match_inline():
+    seeds = list(range(4))
+    params = dict(n=3, mode="hybrid", phi=4, delta=2)
+    inline = SessionPool(backend="pooled", **params).run(seeds)
+    fanned = SessionPool(
+        backend="pooled", executor="process", workers=2, chunksize=2, **params
+    ).run(seeds)
+    assert [r.seed for r in fanned.results] == seeds  # deterministic order
+    assert [r.digest for r in fanned.results] == [r.digest for r in inline.results]
+    assert fanned.workers == 2 and fanned.chunksize == 2
+    assert fanned.summary()["chunksize"] == 2
+
+
+def test_session_pool_process_worker_recycling():
+    # 5 tasks, 2 workers, recycle after 2: at least one worker must be
+    # replaced mid-sweep, and order/digests still match the inline run.
+    seeds = list(range(5))
+    params = dict(n=3, mode="hybrid", phi=4, delta=2)
+    recycled = SessionPool(
+        backend="pooled", executor="process", workers=2,
+        chunksize=1, max_tasks_per_child=2, **params,
+    ).run(seeds)
+    inline = SessionPool(backend="pooled", **params).run(seeds)
+    assert [r.digest for r in recycled.results] == [r.digest for r in inline.results]

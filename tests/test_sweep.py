@@ -1,0 +1,177 @@
+"""Tests for the multi-core sweep engine (`runtime/sweep.py`).
+
+The sweep driver's contract: any (runner, task list) workload shards
+across process workers with deterministic result ordering and
+seed-for-seed trace-digest equality against the inline executor, with
+per-worker crypto warm-up and bounded worker lifetimes.
+"""
+
+import pytest
+
+from repro.runtime import (
+    ParallelSweep,
+    SweepPlan,
+    TraceDigestUnavailable,
+    run_sbc_trial,
+)
+
+PARAMS = dict(n=3, mode="hybrid", phi=4, delta=2)
+
+
+# ---------------------------------------------------------------------------
+# Planning
+# ---------------------------------------------------------------------------
+
+
+def test_plan_resolves_workers_and_chunks():
+    sweep = ParallelSweep(executor="process", workers=4, **PARAMS)
+    plan = sweep.plan(64)
+    assert plan == SweepPlan(
+        tasks=64, executor="process", workers=4, chunksize=4,
+        max_tasks_per_child=None, warmup=True,
+    )
+    assert plan.chunks == 16
+    assert plan.summary()["chunks"] == 16
+
+
+def test_plan_honors_explicit_chunksize():
+    sweep = ParallelSweep(executor="process", workers=2, chunksize=5, **PARAMS)
+    plan = sweep.plan(12)
+    assert plan.chunksize == 5
+    assert plan.chunks == 3  # 5 + 5 + 2
+
+
+def test_plan_inline_executor_is_single_stream():
+    plan = ParallelSweep(executor="inline", **PARAMS).plan(10)
+    assert plan.workers == 1
+    assert plan.chunksize == 1
+
+
+def test_invalid_config_fails_at_construction():
+    with pytest.raises(ValueError, match="chunksize"):
+        ParallelSweep(chunksize=0)
+    with pytest.raises(ValueError, match="executor"):
+        ParallelSweep(executor="quantum")
+    with pytest.raises(ValueError, match="max_tasks_per_child"):
+        ParallelSweep(max_tasks_per_child=-1)
+
+
+# ---------------------------------------------------------------------------
+# Determinism: process fan-out == inline reference
+# ---------------------------------------------------------------------------
+
+
+def test_process_sweep_verifies_against_inline():
+    sweep = ParallelSweep(
+        executor="process", workers=2, chunksize=2, **PARAMS
+    )
+    verdict = sweep.verify(range(4))
+    assert verdict.matched
+    assert [r.seed for r in verdict.report.results] == list(range(4))
+    assert [r.seed for r in verdict.reference.results] == list(range(4))
+    assert verdict.speedup > 0
+    assert verdict.report.executor == "process"
+    assert verdict.reference.executor == "inline"
+
+
+def test_inline_sweep_verify_is_reflexive():
+    # executor="inline" keeps one code path for both modes; verify still
+    # runs two executions and compares digests.
+    verdict = ParallelSweep(executor="inline", **PARAMS).verify(range(3))
+    assert verdict.matched
+
+
+def test_verify_refuses_trace_off_sweeps():
+    sweep = ParallelSweep(executor="inline", trace="light", **PARAMS)
+    with pytest.raises(TraceDigestUnavailable):
+        sweep.verify(range(2))
+
+
+def test_verify_rejects_empty_task_list():
+    with pytest.raises(ValueError, match="empty"):
+        ParallelSweep(executor="inline", **PARAMS).verify([])
+
+
+def test_run_results_keep_task_order_under_recycling():
+    sweep = ParallelSweep(
+        executor="process", workers=2, chunksize=1,
+        max_tasks_per_child=2, **PARAMS,
+    )
+    report = sweep.run(range(5))
+    assert [r.seed for r in report.results] == list(range(5))
+    inline = ParallelSweep(executor="inline", **PARAMS).run(range(5))
+    assert [r.digest for r in report.results] == [r.digest for r in inline.results]
+
+
+# ---------------------------------------------------------------------------
+# Scenario-matrix cells through the sweep engine
+# ---------------------------------------------------------------------------
+
+
+def test_scenario_cells_shard_across_processes():
+    from repro.scenarios import default_matrix, run_matrix
+
+    specs = [
+        spec for spec in default_matrix().expand()
+        if spec.stack == "ubc" and spec.backend == "sequential"
+    ][:6]
+    assert len(specs) >= 2
+    inline = run_matrix(specs, executor="inline")
+    fanned = run_matrix(specs, executor="process", workers=2, chunksize=2)
+    assert [cell.cell_id for cell in fanned.cells] == [
+        cell.cell_id for cell in inline.cells
+    ]
+    assert [cell.digest for cell in fanned.cells] == [
+        cell.digest for cell in inline.cells
+    ]
+    assert fanned.ok
+
+
+def test_sbc_trial_worker_warmup_smoke():
+    # The initializer path itself: one process worker, warmed, running the
+    # default SBC trial runner end to end.
+    sweep = ParallelSweep(
+        runner=run_sbc_trial, executor="process", workers=1, **PARAMS
+    )
+    report = sweep.run([21])
+    assert report.results[0].seed == 21
+    assert report.results[0].outputs
+
+
+# ---------------------------------------------------------------------------
+# Review regressions: recycle bounds, plan accuracy, CLI edge cases
+# ---------------------------------------------------------------------------
+
+
+def test_recycle_bound_clamps_chunksize():
+    # multiprocessing.Pool counts one chunk as one task, so a chunk wider
+    # than the recycle bound would overshoot it; the pool clamps.
+    from repro.runtime import SessionPool
+
+    report = SessionPool(
+        executor="process", workers=2, chunksize=8,
+        max_tasks_per_child=2, **PARAMS,
+    ).run(range(4))
+    assert report.chunksize == 2  # clamped from 8 to the recycle bound
+    plan = ParallelSweep(
+        executor="process", workers=2, chunksize=8,
+        max_tasks_per_child=2, **PARAMS,
+    ).plan(4)
+    assert plan.chunksize == 2  # plan() reports the same clamp
+
+
+def test_plan_thread_executor_reports_real_default_workers():
+    import os
+
+    plan = ParallelSweep(executor="thread", **PARAMS).plan(10)
+    assert plan.workers == min(32, (os.cpu_count() or 1) + 4)
+    explicit = ParallelSweep(executor="thread", workers=3, **PARAMS).plan(10)
+    assert explicit.workers == 3
+
+
+def test_cli_sweep_rejects_empty_session_count(capsys):
+    from repro.cli import main
+
+    assert main(["sweep", "--sessions", "0", "--executor", "inline"]) == 2
+    assert main(["bench", "--sessions", "0"]) == 2
+    assert "--sessions must be >= 1" in capsys.readouterr().err
