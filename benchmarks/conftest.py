@@ -43,6 +43,12 @@ def once(benchmark, fn):
     return result
 
 
+#: Experiments whose claims depend on where worker crypto caches came
+#: from; their records must say so explicitly (E17: process fan-out
+#: sweep, E18: the preprocessing-store warm-up comparison).
+MATERIAL_SOURCE_REQUIRED = ("E17", "E18")
+
+
 def bench_record(
     experiment: str,
     protocol: str,
@@ -50,6 +56,7 @@ def bench_record(
     rounds: Optional[int] = None,
     wall_time_s: Optional[float] = None,
     backend: str = "sequential",
+    material_source: Optional[str] = None,
     **extra: Any,
 ) -> Dict[str, Any]:
     """Write the uniform per-experiment JSON record (schema ``bench.v1``).
@@ -62,8 +69,21 @@ def bench_record(
         wall_time_s: Sweep wall time; defaults to the most recent
             :func:`once` timing.
         backend: Execution backend the sweep ran under.
+        material_source: Where worker crypto caches came from
+            (``compute``/``disk``/``shared``).  Mandatory for the
+            experiments in :data:`MATERIAL_SOURCE_REQUIRED` — a sweep
+            speedup claim is not comparable across PRs without it.
         extra: Free-form experiment parameters, stored under ``params``.
+
+    Raises:
+        ValueError: a :data:`MATERIAL_SOURCE_REQUIRED` experiment did not
+            state its material source.
     """
+    if experiment in MATERIAL_SOURCE_REQUIRED and material_source is None:
+        raise ValueError(
+            f"{experiment} records must carry material_source "
+            "(compute/disk/shared); see MATERIAL_SOURCE_REQUIRED"
+        )
     if wall_time_s is None:
         wall_time_s = _LAST_ONCE_S
     record: Dict[str, Any] = {
@@ -78,6 +98,8 @@ def bench_record(
         # recording the host's count keeps cross-run speedups comparable.
         "cpus": os.cpu_count(),
     }
+    if material_source is not None:
+        record["material_source"] = material_source
     if extra:
         record["params"] = extra
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -95,6 +117,7 @@ def emit(
     n: Optional[int] = None,
     rounds: Optional[int] = None,
     backend: str = "sequential",
+    material_source: Optional[str] = None,
     **extra: Any,
 ) -> str:
     """Format, print and persist one experiment table.
@@ -111,6 +134,7 @@ def emit(
     (RESULTS_DIR / f"{experiment}.txt").write_text(table + "\n")
     if protocol is not None:
         bench_record(
-            experiment, protocol, n=n, rounds=rounds, backend=backend, **extra
+            experiment, protocol, n=n, rounds=rounds, backend=backend,
+            material_source=material_source, **extra,
         )
     return table

@@ -9,6 +9,8 @@ Usage::
     python -m repro.cli lineage   --n 4 16 64
     python -m repro.cli bench     --sessions 32 --backend pooled --compare
     python -m repro.cli sweep     --sessions 64 --executor process --workers 4 --verify
+    python -m repro.cli material  build
+    python -m repro.cli sweep     --sessions 64 --material shared --adaptive
 
 Every protocol command accepts ``--backend`` to pick the execution
 backend (``sequential`` is the reference engine; ``pooled`` / ``batched``
@@ -112,6 +114,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         workers=args.workers,
         chunksize=args.chunksize,
         max_tasks_per_child=args.max_tasks_per_child,
+        material=args.material,
+        adaptive=args.adaptive,
         trace=args.trace,
         **params,
     )
@@ -143,7 +147,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_adaptivity(trace) -> str:
+    """One line per re-planning wave for the text front end."""
+    return "\n".join(
+        f"  wave {entry['wave']}: {entry['tasks']} tasks @ chunksize "
+        f"{entry['chunksize']} (ewma {entry['ewma_task_s'] * 1000:.2f} ms/task)"
+        for entry in trace
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
     from repro.runtime import ParallelSweep
 
     if args.sessions < 1:
@@ -155,7 +170,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     trace = args.trace
     if args.verify and trace != "full":
-        print("--verify compares trace digests: forcing --trace full")
+        if not args.json:
+            print("--verify compares trace digests: forcing --trace full")
         trace = "full"
     sweep = ParallelSweep(
         backend=args.backend,
@@ -164,24 +180,58 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         chunksize=args.chunksize,
         max_tasks_per_child=args.max_tasks_per_child,
         warmup=not args.no_warmup,
+        material=args.material,
+        adaptive=args.adaptive,
         trace=trace,
         **params,
     )
     seeds = list(range(args.seed, args.seed + args.sessions))
     plan = sweep.plan(len(seeds))
-    print(format_table([plan.summary()], title=f"sweep plan: {args.sessions} x SBC ({args.mode})"))
+    if not args.json:
+        print(format_table(
+            [plan.summary()],
+            title=f"sweep plan: {args.sessions} x SBC ({args.mode})",
+        ))
     if args.verify:
         verdict = sweep.verify(seeds)
-        print(format_table(
-            [verdict.report.summary(), verdict.reference.summary()],
-            title="sweep vs inline reference",
-        ))
-        print(f"speedup vs inline: {verdict.speedup:.2f}x")
-        print(f"trace digests match inline reference, seed for seed: "
-              f"{'yes' if verdict.matched else 'NO'}")
+        plan_summary = plan.summary(adaptivity=verdict.report.adaptivity)
+        if args.json:
+            print(json.dumps(
+                {
+                    "plan": plan_summary,
+                    "report": verdict.report.summary(),
+                    "reference": verdict.reference.summary(),
+                    "speedup_vs_inline": round(verdict.speedup, 4),
+                    "digests_match": verdict.matched,
+                },
+                indent=2,
+            ))
+        else:
+            print(format_table(
+                [verdict.report.summary(), verdict.reference.summary()],
+                title="sweep vs inline reference",
+            ))
+            if verdict.report.adaptivity:
+                print("adaptivity trace:")
+                print(_format_adaptivity(verdict.report.adaptivity))
+            print(f"speedup vs inline: {verdict.speedup:.2f}x")
+            print(f"trace digests match inline reference, seed for seed: "
+                  f"{'yes' if verdict.matched else 'NO'}")
         return 0 if verdict.matched else 1
     report = sweep.run(seeds)
+    if args.json:
+        print(json.dumps(
+            {
+                "plan": plan.summary(adaptivity=report.adaptivity),
+                "report": report.summary(),
+            },
+            indent=2,
+        ))
+        return 0
     print(format_table([report.summary()], title="sweep"))
+    if report.adaptivity:
+        print("adaptivity trace:")
+        print(_format_adaptivity(report.adaptivity))
     print(f"per-session: {report.wall_time_s / max(report.sessions, 1) * 1000:.2f} ms")
     return 0
 
@@ -243,6 +293,8 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         workers=args.workers,
         chunksize=args.chunksize,
         max_tasks_per_child=args.max_tasks_per_child,
+        material=args.material,
+        adaptive=args.adaptive,
     )
     mismatches = report.backend_mismatches()
     if args.json:
@@ -279,6 +331,37 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         for line in mismatches:
             print(f"  digest mismatch: {line}")
     return 0 if report.ok and not mismatches else 1
+
+
+def _cmd_material(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runtime import MaterialStore
+
+    store = MaterialStore(args.dir)
+    if args.action == "build":
+        built = store.build(
+            nonces=args.nonces,
+            feldman=args.feldman,
+            feldman_threshold=args.threshold,
+            seed=args.seed,
+        )
+        rows = [material.summary() for material in built]
+        print(format_table(rows, title=f"built {len(rows)} material sets -> {store.root}"))
+        return 0
+    if args.action == "inspect":
+        records = store.inspect()
+        if args.json:
+            print(json.dumps(records, indent=2))
+        elif not records:
+            print(f"preprocessing store at {store.root} is empty "
+                  "(run 'repro material build')")
+        else:
+            print(format_table(records, title=f"preprocessing store: {store.root}"))
+        return 0 if all(record.get("ok") for record in records) else 1
+    removed = store.clear()
+    print(f"removed {removed} material file(s) from {store.root}")
+    return 0
 
 
 def _cmd_lineage(args: argparse.Namespace) -> int:
@@ -341,6 +424,17 @@ def build_parser() -> argparse.ArgumentParser:
             "--max-tasks-per-child", type=int, default=None,
             help="recycle process workers after this many tasks",
         )
+        p.add_argument(
+            "--material", choices=("compute", "disk", "shared"), default="compute",
+            help="worker crypto warm-up source: rebuild locally, attach the "
+                 "preprocessing store from disk, or attach shared memory "
+                 "(see 'repro material build')",
+        )
+        p.add_argument(
+            "--adaptive", action="store_true",
+            help="re-plan the process chunk size mid-sweep from observed "
+                 "per-task wall time",
+        )
 
     p = sub.add_parser("bench", help="run a pooled SBC session sweep")
     common(p)
@@ -392,7 +486,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the inline reference and require seed-for-seed "
              "digest equality (exit 1 on divergence)",
     )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the resolved plan (with adaptivity trace) and report "
+             "as JSON instead of tables",
+    )
     p.set_defaults(func=_cmd_sweep, backend="pooled")
+
+    p = sub.add_parser(
+        "material",
+        help="manage the preprocessing store (offline crypto material)",
+    )
+    p.add_argument("action", choices=("build", "inspect", "clear"))
+    p.add_argument(
+        "--dir", default=None,
+        help="store directory (default: $REPRO_MATERIAL_DIR or "
+             "~/.cache/repro-material)",
+    )
+    p.add_argument("--nonces", type=int, default=128,
+                   help="Schnorr nonce pairs (k, g^k) per parameter set")
+    p.add_argument("--feldman", type=int, default=16,
+                   help="Feldman-committed random polynomials per set")
+    p.add_argument("--threshold", type=int, default=2,
+                   help="degree t of the preprocessed Feldman polynomials")
+    p.add_argument("--seed", type=int, default=0,
+                   help="offline-phase seed (recorded in the material)")
+    p.add_argument("--json", action="store_true",
+                   help="emit inspect records as JSON")
+    p.set_defaults(func=_cmd_material)
 
     p = sub.add_parser(
         "scenarios",

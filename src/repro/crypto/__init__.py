@@ -19,25 +19,44 @@ Modules
   disjunctive 0/1-vote proofs (Fiat–Shamir).
 * :mod:`repro.crypto.shamir` — Shamir secret sharing + Feldman VSS, used
   by the honest-majority Hevia baseline.
+* :mod:`repro.crypto.preprocessing` — the offline phase: build, serialize
+  and attach precomputed crypto material (fixed-base tables, Schnorr
+  nonce pools, Feldman-committed randomness) for the worker fleet.
 """
 
 from repro.crypto.hashing import hash_bytes, hash_to_int, xor_bytes
+from repro.crypto.preprocessing import (
+    CryptoMaterial,
+    MaterialError,
+    MaterialIntegrityError,
+    build_material,
+    deserialize_material,
+    group_fingerprint,
+    serialize_material,
+)
 from repro.crypto.ske import SymmetricKey, ske_decrypt, ske_encrypt, ske_gen
 from repro.crypto.groups import SchnorrGroup, TEST_GROUP
 from repro.crypto.schnorr import SchnorrKeyPair, schnorr_keygen, schnorr_sign, schnorr_verify
 from repro.crypto.elgamal import ElGamalCiphertext, elgamal_decrypt, elgamal_encrypt, elgamal_keygen
 
 __all__ = [
+    "CryptoMaterial",
     "ElGamalCiphertext",
+    "MaterialError",
+    "MaterialIntegrityError",
     "SchnorrGroup",
     "SchnorrKeyPair",
     "SymmetricKey",
     "TEST_GROUP",
+    "build_material",
+    "deserialize_material",
     "elgamal_decrypt",
     "elgamal_encrypt",
     "elgamal_keygen",
+    "group_fingerprint",
     "hash_bytes",
     "hash_to_int",
+    "serialize_material",
     "schnorr_keygen",
     "schnorr_sign",
     "schnorr_verify",

@@ -81,8 +81,7 @@ class SchnorrGroup:
         # reads stay lock-free (once set, the table never changes, and the
         # encoding cache only ever gains idempotently-computed entries).
         object.__setattr__(self, "_width", (self.p.bit_length() + 7) // 8)
-        object.__setattr__(self, "_fb_table", None)
-        object.__setattr__(self, "_fb_window", 0)
+        object.__setattr__(self, "_fb_state", None)
         object.__setattr__(self, "_fb_calls", 0)
         object.__setattr__(self, "_encoding_cache", {})
         object.__setattr__(self, "_accel_lock", threading.Lock())
@@ -110,7 +109,7 @@ class SchnorrGroup:
     def power_of_g(self, exponent: int) -> int:
         """``g ** exponent mod p`` (fixed-base windowed once warmed up)."""
         e = exponent % self.q
-        if self._fb_table is None:
+        if self._fb_state is None:
             if self.p.bit_length() > FIXED_BASE_AUTO_BITS and self._fb_calls < FIXED_BASE_AUTO_CALLS:
                 object.__setattr__(self, "_fb_calls", self._fb_calls + 1)
                 return pow(self.g, e, self.p)
@@ -172,22 +171,58 @@ class SchnorrGroup:
         self.element_to_bytes(self.g)
         return self
 
+    @property
+    def _fb_table(self) -> Optional[List[List[int]]]:
+        """The fixed-base table, or None before the first build/install."""
+        state = self._fb_state
+        return state[1] if state is not None else None
+
+    @property
+    def _fb_window(self) -> int:
+        """Window width of the built table (0 before the first build)."""
+        state = self._fb_state
+        return state[0] if state is not None else 0
+
+    @property
+    def default_fb_window(self) -> int:
+        """Default window width: table-build cost vs per-exp savings."""
+        return 6 if self.p.bit_length() <= 1024 else 5
+
+    @property
+    def fb_table_bytes(self) -> int:
+        """Serialized footprint of the fixed-base table (0 when unbuilt).
+
+        Every entry is one group element at the group's fixed encoding
+        width; the preprocessing store inspector reports this so operators
+        can see what a cached table costs on disk and in shared memory.
+        """
+        state = self._fb_state
+        if state is None:
+            return 0
+        _w, table = state
+        return len(table) * len(table[0]) * self._width
+
     def precompute_fixed_base(self, window: Optional[int] = None) -> None:
         """Build the fixed-base window table for :meth:`power_of_g`.
 
-        Idempotent and thread-safe: concurrent callers race only on who
-        builds, never on a half-built table (the window width is published
-        before the table, and readers gate on the table).  ``window`` is
-        the digit width in bits; the default balances table-build cost
-        against per-exponentiation savings for the group's modulus size.
+        Idempotent and thread-safe: repeated calls with the default (or
+        the already-built) window are a cheap no-op — the window and
+        table publish together as one ``(window, table)`` reference, so
+        lock-free readers can never pair a stale table with a fresh
+        window.  An *explicit* ``window`` different from the built one
+        rebuilds at the requested width.  ``window`` is the digit width
+        in bits; the default balances table-build cost against
+        per-exponentiation savings for the group's modulus size.
         """
-        if self._fb_table is not None:
+        state = self._fb_state
+        if state is not None and (window is None or window == state[0]):
             return
-        w = window if window is not None else (6 if self.p.bit_length() <= 1024 else 5)
+        w = window if window is not None else self.default_fb_window
         if w < 1:
             raise ValueError("window must be >= 1")
         with self._accel_lock:
-            if self._fb_table is not None:
+            state = self._fb_state
+            if state is not None and w == state[0]:
                 return
             windows = (self.q.bit_length() + w - 1) // w
             p = self.p
@@ -201,13 +236,52 @@ class SchnorrGroup:
                     row[digit] = acc
                 table.append(row)
                 base = acc * base % p  # base ** (2 ** w)
-            object.__setattr__(self, "_fb_window", w)
-            object.__setattr__(self, "_fb_table", table)
+            object.__setattr__(self, "_fb_state", (w, table))
+
+    def install_fixed_base(self, table: List[List[int]], window: int) -> None:
+        """Attach a precomputed fixed-base table instead of rebuilding it.
+
+        The online half of the preprocessing store: workers deserialize
+        the offline-built table and install it here.  The table's shape
+        and a few entries are verified against the group (the store's
+        integrity hash catches bit rot; this catches a well-formed table
+        for the *wrong* parameters), so a bad install can never silently
+        corrupt ``power_of_g``.
+
+        Raises:
+            ValueError: the table does not match this group's parameters.
+        """
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        rows = (self.q.bit_length() + window - 1) // window
+        if len(table) != rows or any(len(row) != (1 << window) for row in table):
+            raise ValueError(
+                f"fixed-base table shape mismatch: expected {rows} rows of "
+                f"{1 << window} entries"
+            )
+        if table[0][0] != 1 or table[0][1] != self.g:
+            raise ValueError("fixed-base table row 0 does not start at g")
+        # Spot-check row 0's top digit against the direct formula, then
+        # chain-check every row's base: row i+1 is built on
+        # base_{i+1} = base_i^(2^w) = row_i[2^w - 1] * row_i[1].  One
+        # multiplication per row anchors the whole ladder to g without a
+        # single full-width pow (the blob's integrity hash covers bit
+        # rot; this guards a well-formed table for the wrong group).
+        if table[0][-1] != pow(self.g, (1 << window) - 1, self.p):
+            raise ValueError("fixed-base table row 0 is inconsistent")
+        p = self.p
+        for index in range(rows - 1):
+            if table[index + 1][1] != table[index][-1] * table[index][1] % p:
+                raise ValueError(
+                    f"fixed-base table row {index + 1} does not chain from "
+                    f"row {index}"
+                )
+        with self._accel_lock:
+            object.__setattr__(self, "_fb_state", (window, [list(row) for row in table]))
 
     def _fixed_base_pow(self, e: int) -> int:
         """``g ** e`` via the window table (``e`` already reduced mod q)."""
-        table = self._fb_table
-        w = self._fb_window
+        w, table = self._fb_state
         mask = (1 << w) - 1
         p = self.p
         result = 1

@@ -36,6 +36,14 @@ from repro.runtime.driver import (
     RoundDriver,
     SequentialRoundDriver,
 )
+from repro.runtime.material import (
+    MATERIAL_SOURCES,
+    MaterialHandle,
+    MaterialStore,
+    publish_material,
+    resolve_material_source,
+    warm_with_material,
+)
 from repro.runtime.pool import (
     PoolReport,
     SessionPool,
@@ -60,6 +68,9 @@ __all__ = [
     "BatchScheduler",
     "BatchedRoundDriver",
     "ExecutionBackend",
+    "MATERIAL_SOURCES",
+    "MaterialHandle",
+    "MaterialStore",
     "POOLED",
     "ParallelSweep",
     "PoolReport",
@@ -78,10 +89,13 @@ __all__ = [
     "compare_trace_digests",
     "ensure_agreement",
     "get_backend",
+    "publish_material",
     "register_backend",
     "reports_match",
+    "resolve_material_source",
     "resolve_workers",
     "run_sbc_trial",
     "sequential_loop",
     "trace_digest",
+    "warm_with_material",
 ]

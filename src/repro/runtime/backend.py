@@ -66,17 +66,26 @@ class ExecutionBackend:
             raise ValueError(f"trace must be one of {list(TRACE_MODES)}, got {trace!r}")
         return replace(self, trace=trace)
 
-    def warm_up(self) -> "ExecutionBackend":
+    def warm_up(self, material=None) -> "ExecutionBackend":
         """Pre-build the process-wide caches sessions under this backend use.
 
         Called once per worker by the pool initializer (and usable inline
         before timing-sensitive runs): warms the shared crypto
         acceleration caches so no session pays lazy construction mid-run.
         Custom backends with extra per-process state can extend this.
-        """
-        from repro.crypto.groups import warm_groups
 
-        warm_groups()
+        Args:
+            material: Where the caches come from — ``None``/``"compute"``
+                rebuilds them locally, ``"disk"`` attaches the
+                preprocessing store's serialized tables, and a
+                :class:`~repro.runtime.material.MaterialHandle` attaches
+                what the parent published (shared memory, mmap fallback).
+                Every failure degrades to compute with a warning; the
+                installed tables are value-identical either way.
+        """
+        from repro.runtime.material import warm_with_material
+
+        warm_with_material(material)
         return self
 
 

@@ -1,0 +1,437 @@
+"""Preprocessing store: ship offline crypto material to the worker fleet.
+
+The offline phase (:mod:`repro.crypto.preprocessing`) turns warm-up work
+into bytes; this module owns where those bytes live and how workers get
+them:
+
+* :class:`MaterialStore` — a versioned on-disk cache
+  (``~/.cache/repro-material/<group-fingerprint>.v1`` by default,
+  ``REPRO_MATERIAL_DIR`` overrides), written atomically and validated by
+  the blob's integrity hash on every read;
+* :data:`MATERIAL_SOURCES` — the three ways a worker can obtain its
+  material: ``compute`` (rebuild locally, the pre-store behavior),
+  ``disk`` (read the store file), ``shared`` (attach a
+  ``multiprocessing.shared_memory`` segment published by the parent,
+  falling back to an mmap of the store file);
+* :func:`publish_material` / :func:`warm_with_material` — the parent
+  publishes before forking, each worker attaches in its initializer.
+
+Every failure path degrades to ``compute`` with a :class:`RuntimeWarning`
+— a corrupt cache file or a torn shared-memory segment slows a worker
+down, it never crashes one — and attached tables are shape- and
+spot-checked, so the degradation can never silently change results
+(trace digests are identical across all three sources by construction).
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import pathlib
+import tempfile
+import warnings
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.crypto.groups import GROUP_2048, TEST_GROUP, SchnorrGroup, warm_groups
+from repro.crypto.preprocessing import (
+    CryptoMaterial,
+    MaterialError,
+    MaterialIntegrityError,
+    build_material,
+    deserialize_material,
+    group_fingerprint,
+    serialize_material,
+)
+
+__all__ = [
+    "MATERIAL_COMPUTE",
+    "MATERIAL_DISK",
+    "MATERIAL_SHARED",
+    "MATERIAL_SOURCES",
+    "MaterialHandle",
+    "MaterialRef",
+    "MaterialStore",
+    "default_groups",
+    "default_material_dir",
+    "publish_material",
+    "resolve_material_source",
+    "warm_with_material",
+]
+
+#: Rebuild caches locally in every worker (the pre-store behavior).
+MATERIAL_COMPUTE = "compute"
+#: Read the serialized material from the on-disk store.
+MATERIAL_DISK = "disk"
+#: Attach a shared-memory segment published by the parent (mmap fallback).
+MATERIAL_SHARED = "shared"
+
+MATERIAL_SOURCES = (MATERIAL_COMPUTE, MATERIAL_DISK, MATERIAL_SHARED)
+
+#: Environment variable overriding the store directory.
+MATERIAL_DIR_ENV = "REPRO_MATERIAL_DIR"
+
+
+def resolve_material_source(source: Optional[str]) -> str:
+    """Validate a material source name (``None`` means ``compute``)."""
+    if source is None:
+        return MATERIAL_COMPUTE
+    if source not in MATERIAL_SOURCES:
+        known = ", ".join(MATERIAL_SOURCES)
+        raise ValueError(f"material source must be one of {known}, got {source!r}")
+    return source
+
+
+def default_material_dir() -> pathlib.Path:
+    """The store root: ``$REPRO_MATERIAL_DIR`` or ``~/.cache/repro-material``."""
+    override = os.environ.get(MATERIAL_DIR_ENV)
+    if override:
+        return pathlib.Path(override)
+    return pathlib.Path.home() / ".cache" / "repro-material"
+
+
+def default_groups() -> Tuple[SchnorrGroup, ...]:
+    """The parameter sets the store covers by default.
+
+    These are the module singletons protocol stacks resolve at build
+    time, so attaching material to them warms every session in the
+    worker.
+    """
+    return (TEST_GROUP, GROUP_2048)
+
+
+class MaterialStore:
+    """Versioned on-disk cache of serialized preprocessing material."""
+
+    SUFFIX = ".v1"
+
+    def __init__(self, root: Union[str, pathlib.Path, None] = None) -> None:
+        self.root = pathlib.Path(root) if root is not None else default_material_dir()
+
+    def path_for(self, group: SchnorrGroup) -> pathlib.Path:
+        return self.root / f"{group_fingerprint(group)}{self.SUFFIX}"
+
+    def save(self, material: CryptoMaterial) -> pathlib.Path:
+        """Atomically persist one material blob (write-temp-then-rename)."""
+        return self._write_blob(material.fingerprint, serialize_material(material))
+
+    def _write_blob(self, fingerprint: str, blob: bytes) -> pathlib.Path:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.root / f"{fingerprint}{self.SUFFIX}"
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=fingerprint, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def load_blob(self, group: SchnorrGroup) -> bytes:
+        """Raw serialized blob for ``group`` (validated by the caller).
+
+        Raises:
+            FileNotFoundError: no material cached for this fingerprint.
+        """
+        return self.path_for(group).read_bytes()
+
+    def load(self, group: SchnorrGroup) -> CryptoMaterial:
+        """Deserialize and validate the cached material for ``group``.
+
+        Raises:
+            FileNotFoundError: no material cached for this fingerprint.
+            MaterialError: the file exists but is corrupt or mismatched.
+        """
+        material = deserialize_material(self.load_blob(group))
+        if not material.matches(group):
+            raise MaterialIntegrityError(
+                f"store file {self.path_for(group).name} holds material for "
+                "different group parameters"
+            )
+        return material
+
+    def ensure(self, group: SchnorrGroup, **build_kwargs: Any) -> CryptoMaterial:
+        """Load the cached material, building (and persisting) on a miss.
+
+        A corrupt cache file is the offline phase's job to repair: it
+        warns, rebuilds from scratch and overwrites the bad file — the
+        fallback-to-compute contract at the store level.
+        """
+        return deserialize_material(self.ensure_blob(group, **build_kwargs))
+
+    def ensure_blob(self, group: SchnorrGroup, **build_kwargs: Any) -> bytes:
+        """Like :meth:`ensure`, but returns the validated raw blob.
+
+        The publish path ships bytes (into shared memory), so this reads
+        and validates the file exactly once instead of a deserialize in
+        ``ensure`` followed by a second read of the same file.
+        """
+        try:
+            blob = self.load_blob(group)
+            if not deserialize_material(blob).matches(group):
+                raise MaterialIntegrityError(
+                    f"store file {self.path_for(group).name} holds material "
+                    "for different group parameters"
+                )
+            return blob
+        except FileNotFoundError:
+            pass
+        except MaterialError as exc:
+            warnings.warn(
+                f"preprocessing store file {self.path_for(group).name} is "
+                f"unusable ({exc}); rebuilding from scratch",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        material = build_material(group, **build_kwargs)
+        blob = serialize_material(material)
+        self._write_blob(material.fingerprint, blob)
+        return blob
+
+    def build(
+        self, groups: Optional[Sequence[SchnorrGroup]] = None, **build_kwargs: Any
+    ) -> List[CryptoMaterial]:
+        """Offline phase over every parameter set; persists each blob."""
+        built = []
+        for group in groups if groups is not None else default_groups():
+            material = build_material(group, **build_kwargs)
+            self.save(material)
+            built.append(material)
+        return built
+
+    def inspect(self) -> List[Dict[str, Any]]:
+        """One record per store file: pool sizes, footprint, integrity."""
+        records: List[Dict[str, Any]] = []
+        if not self.root.is_dir():
+            return records
+        for path in sorted(self.root.glob(f"*{self.SUFFIX}")):
+            record: Dict[str, Any] = {
+                "file": path.name,
+                "file_bytes": path.stat().st_size,
+            }
+            try:
+                material = deserialize_material(path.read_bytes())
+            except MaterialError as exc:
+                record.update({"ok": False, "error": str(exc)})
+            else:
+                record.update({"ok": True, **material.summary()})
+            records.append(record)
+        return records
+
+    def clear(self) -> int:
+        """Delete every store file; returns how many were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob(f"*{self.SUFFIX}"):
+            path.unlink()
+            removed += 1
+        return removed
+
+
+# ---------------------------------------------------------------------------
+# Publish (parent) / attach (worker)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MaterialRef:
+    """Picklable pointer to one group's serialized material."""
+
+    fingerprint: str
+    nbytes: int
+    shm_name: Optional[str] = None
+    path: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class MaterialHandle:
+    """What a worker initializer needs to attach preprocessed material."""
+
+    source: str
+    refs: Tuple[MaterialRef, ...] = ()
+
+
+def _unregister_shm(name: str) -> None:
+    """Detach an attached segment from a *spawned* worker's tracker.
+
+    On 3.11 ``SharedMemory(name=...)`` (attach, not create) still
+    registers with the resource tracker (bpo-39959; fixed by
+    ``track=False`` in 3.13).  Under ``spawn`` each worker runs its own
+    tracker, which would unlink the parent's live segment when the
+    worker exits — so the attach must be unregistered there.  Under
+    ``fork`` parent and workers share one tracker whose registry is a
+    set, so the attach was a no-op and unregistering here would instead
+    erase the parent's own entry.
+    """
+    try:
+        import multiprocessing
+
+        if multiprocessing.get_start_method(allow_none=True) != "spawn":
+            return
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(name, "shared_memory")
+    except Exception:
+        pass
+
+
+def publish_material(
+    source: str,
+    groups: Optional[Sequence[SchnorrGroup]] = None,
+    store: Optional[MaterialStore] = None,
+) -> Tuple[Optional[MaterialHandle], Callable[[], None]]:
+    """Parent half of the online phase: stage material for the workers.
+
+    Returns ``(handle, release)``; the handle ships to every worker via
+    the pool initializer and ``release()`` must run once the pool is done
+    (it unlinks any shared-memory segments).  ``compute`` (or a failed
+    publish) yields ``(None, noop)`` — workers then warm up locally.
+    """
+    source = resolve_material_source(source)
+    if groups is None:
+        groups = (TEST_GROUP,)
+    if source == MATERIAL_COMPUTE:
+        return None, lambda: None
+    store = store or MaterialStore()
+    refs: List[MaterialRef] = []
+    segments: List[Any] = []
+
+    def release() -> None:
+        for segment in segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except Exception:
+                pass
+
+    try:
+        for group in groups:
+            # Lazy offline phase: load-and-validate, or build-and-save.
+            blob = store.ensure_blob(group)
+            fingerprint = group_fingerprint(group)
+            ref = MaterialRef(
+                fingerprint=fingerprint,
+                nbytes=len(blob),
+                path=str(store.path_for(group)),
+            )
+            if source == MATERIAL_SHARED:
+                from multiprocessing import shared_memory
+
+                # Keep the name (with its leading slash) within macOS's
+                # 31-char POSIX shm limit: "/rm-" + 12-hex fingerprint
+                # prefix + 8-hex random = 25 chars.
+                segment = shared_memory.SharedMemory(
+                    name=f"rm-{fingerprint[:12]}-{os.urandom(4).hex()}",
+                    create=True,
+                    size=len(blob),
+                )
+                segment.buf[: len(blob)] = blob
+                segments.append(segment)
+                ref = MaterialRef(
+                    fingerprint=fingerprint,
+                    nbytes=len(blob),
+                    shm_name=segment.name,
+                    path=ref.path,
+                )
+            refs.append(ref)
+    except Exception as exc:
+        release()
+        warnings.warn(
+            f"could not publish {source} preprocessing material ({exc}); "
+            "workers will fall back to computing their own caches",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None, lambda: None
+    return MaterialHandle(source=source, refs=tuple(refs)), release
+
+
+def _read_ref(ref: MaterialRef) -> bytes:
+    """Fetch one ref's blob: shared memory first, then an mmap of the file."""
+    if ref.shm_name is not None:
+        from multiprocessing import shared_memory
+
+        try:
+            segment = shared_memory.SharedMemory(name=ref.shm_name)
+        except FileNotFoundError:
+            pass  # segment gone (e.g. parent released early): mmap fallback
+        else:
+            try:
+                return bytes(segment.buf[: ref.nbytes])
+            finally:
+                segment.close()
+                _unregister_shm(ref.shm_name)
+    if ref.path is None:
+        raise MaterialError(f"no byte source for material ref {ref.fingerprint}")
+    with open(ref.path, "rb") as handle:
+        with mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ) as view:
+            return bytes(view)
+
+
+def _attach_handle(handle: MaterialHandle) -> None:
+    """Worker half: install every published blob into its group singleton.
+
+    Any per-ref failure warns and leaves that group to the compute
+    fallback — the initializer must never raise (a raising initializer
+    kills pool workers in a loop instead of running the sweep).
+    """
+    targets = {group_fingerprint(group): group for group in default_groups()}
+    for ref in handle.refs:
+        group = targets.get(ref.fingerprint)
+        if group is None:
+            warnings.warn(
+                f"published material {ref.fingerprint} matches no known "
+                "group; ignoring it",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            continue
+        try:
+            deserialize_material(_read_ref(ref)).attach(group)
+        except Exception as exc:
+            warnings.warn(
+                f"could not attach preprocessed material {ref.fingerprint} "
+                f"({exc}); falling back to computing caches in this worker",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+
+def warm_with_material(
+    material: Union[MaterialHandle, str, None] = None,
+    store: Optional[MaterialStore] = None,
+    groups: Optional[Sequence[SchnorrGroup]] = None,
+) -> None:
+    """Warm this process's crypto caches from the given material source.
+
+    Accepts a :class:`MaterialHandle` (process workers), a source name
+    (inline/thread executors and direct callers), or ``None``/"compute".
+    Always finishes with :func:`~repro.crypto.groups.warm_groups`, which
+    is a cheap no-op for every cache an attach already installed — so
+    whatever happened above, the process ends up warm.
+    """
+    if isinstance(material, MaterialHandle):
+        _attach_handle(material)
+    else:
+        source = resolve_material_source(material)
+        if source != MATERIAL_COMPUTE:
+            # Local attach: read the store directly; ``shared`` has no
+            # parent segment to attach to here, so it uses the mmap path.
+            handle, release = publish_material(
+                MATERIAL_DISK, groups=groups, store=store
+            )
+            try:
+                if handle is not None:
+                    _attach_handle(handle)
+            finally:
+                release()
+    warm_groups()

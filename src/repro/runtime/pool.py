@@ -236,6 +236,10 @@ class PoolReport:
     #: Worker count / chunk size actually used (None for inline runs).
     workers: Optional[int] = None
     chunksize: Optional[int] = None
+    #: Where worker crypto caches came from (compute/disk/shared).
+    material_source: Optional[str] = None
+    #: Per-wave re-chunking trace for adaptive sweeps (None otherwise).
+    adaptivity: Optional[List[Dict[str, Any]]] = None
 
     @property
     def sessions(self) -> int:
@@ -270,6 +274,13 @@ class PoolReport:
             record["workers"] = self.workers
         if self.chunksize is not None:
             record["chunksize"] = self.chunksize
+        if self.material_source is not None:
+            record["material_source"] = self.material_source
+        if self.adaptivity is not None:
+            # The full per-wave trace lives on ``adaptivity`` (and in
+            # SweepPlan.summary(adaptivity=...)); the flat record only
+            # says how many times the sweep re-chunked.
+            record["adaptive_waves"] = len(self.adaptivity)
         return record
 
 
@@ -300,17 +311,85 @@ def auto_chunksize(tasks: int, workers: int) -> int:
     return max(1, -(-tasks // (max(1, workers) * CHUNKS_PER_WORKER)))
 
 
-def _warm_worker(backend: Union[str, ExecutionBackend, None] = None) -> None:
+def _warm_worker(
+    backend: Union[str, ExecutionBackend, None] = None, material: Any = None
+) -> None:
     """Process-pool initializer: pre-build shared per-process caches.
 
     Runs once per worker process via the backend's
     :meth:`~repro.runtime.backend.ExecutionBackend.warm_up` hook, so every
     trial dispatched to the worker finds the fixed-base window tables and
     encoding caches already populated instead of paying table construction
-    inside its first session.  Module-level (hence picklable) by
-    construction.
+    inside its first session.  With a published
+    :class:`~repro.runtime.material.MaterialHandle` the tables are
+    *attached* (shared memory or mmap) instead of recomputed, which takes
+    cold-start warm-up off the sweep's critical path.  Module-level
+    (hence picklable) by construction.
     """
-    get_backend(backend).warm_up()
+    get_backend(backend).warm_up(material)
+
+
+# -- adaptive chunking -------------------------------------------------------
+
+#: Wall-clock seconds one dispatched chunk should aim to cost.  Scenario
+#: cells vary ~10x between the cheapest (`ubc`) and the dearest
+#: (`sbc-composed`), so a fixed chunk size either starves workers on
+#: heavy cells or drowns light ones in IPC; the re-planner sizes chunks
+#: so each dispatch stays near this budget.
+ADAPTIVE_TARGET_CHUNK_S = 0.2
+
+#: EWMA smoothing factor for observed per-task wall time.
+ADAPTIVE_EWMA_ALPHA = 0.5
+
+#: Bound on how far one re-plan may move the chunk size (x or /).
+ADAPTIVE_MAX_STEP = 4
+
+#: Chunks per worker dispatched between re-plans; each wave is a small
+#: barrier, so a couple of chunks per worker keeps stragglers short while
+#: giving the EWMA enough samples to be worth re-planning on.
+ADAPTIVE_CHUNKS_PER_WAVE = 2
+
+
+def _observed_task_seconds(results: Sequence[Any], elapsed: float) -> float:
+    """Mean per-task seconds for one wave, preferring in-task timings.
+
+    :class:`TrialResult` carries the task's own build+run wall time,
+    which excludes IPC and pickling; runners returning something else
+    fall back to wave wall time over task count.
+    """
+    timings = [
+        result.wall_time_s
+        for result in results
+        if getattr(result, "wall_time_s", None) is not None
+    ]
+    if timings:
+        return sum(timings) / len(timings)
+    return elapsed / max(len(results), 1)
+
+
+def _replan_chunksize(
+    current: int,
+    ewma_task_s: float,
+    max_tasks_per_child: Optional[int],
+) -> int:
+    """Next wave's chunk size, bounded so one re-plan can't overshoot.
+
+    The move is clamped to a factor of :data:`ADAPTIVE_MAX_STEP` per
+    wave, and under worker recycling the size may only shrink — the
+    recycle bound was translated into chunk units from the size the pool
+    started with, so growing a chunk later could push one worker past
+    its per-worker trial budget.
+    """
+    if ewma_task_s <= 0:
+        return current
+    desired = max(1, round(ADAPTIVE_TARGET_CHUNK_S / ewma_task_s))
+    bounded = max(
+        max(1, current // ADAPTIVE_MAX_STEP),
+        min(desired, current * ADAPTIVE_MAX_STEP),
+    )
+    if max_tasks_per_child is not None:
+        bounded = min(bounded, current)
+    return bounded
 
 
 class SessionPool:
@@ -334,6 +413,24 @@ class SessionPool:
             ``None`` reuses workers for the whole sweep.
         warmup: Run the shared-crypto warm-up initializer in each process
             worker (default True; set False to measure cold workers).
+        material: Where worker warm-up gets its crypto caches —
+            ``"compute"`` (default: rebuild locally), ``"disk"`` (attach
+            the preprocessing store's serialized tables) or ``"shared"``
+            (parent publishes a shared-memory segment, workers attach;
+            mmap fallback).  All three produce value-identical caches,
+            so trace digests never depend on the source.  Requires
+            ``warmup`` (attach *is* the warm-up).
+        material_groups: Parameter sets published to *process* workers
+            (default: the test group).  Pass ``(GROUP_2048,)`` — or
+            :func:`~repro.runtime.material.default_groups` for both —
+            when trials run production-strength parameters; that table
+            is the one whose per-worker rebuild actually hurts.
+            Inline/thread executors attach the defaults; custom sets
+            there go through
+            :func:`~repro.runtime.material.warm_with_material` directly.
+        adaptive: Re-plan the process chunk size mid-sweep from observed
+            per-task wall time (EWMA, bounded moves; shrink-only under
+            worker recycling).  Ignored by inline/thread executors.
         trace: Optional trace-mode override forwarded to the runner
             (``"light"`` turns the EventLog off for throughput runs).
     """
@@ -347,9 +444,14 @@ class SessionPool:
         chunksize: Optional[int] = None,
         max_tasks_per_child: Optional[int] = None,
         warmup: bool = True,
+        material: Optional[str] = None,
+        material_groups: Optional[Sequence[Any]] = None,
+        adaptive: bool = False,
         trace: Optional[str] = None,
         **runner_kwargs: Any,
     ) -> None:
+        from repro.runtime.material import resolve_material_source
+
         if executor not in ("inline", "thread", "process"):
             raise ValueError(f"executor must be inline/thread/process, got {executor!r}")
         if chunksize is not None and chunksize < 1:
@@ -365,6 +467,11 @@ class SessionPool:
         self.chunksize = chunksize
         self.max_tasks_per_child = max_tasks_per_child
         self.warmup = warmup
+        self.material = resolve_material_source(material)
+        self.material_groups = (
+            tuple(material_groups) if material_groups is not None else None
+        )
+        self.adaptive = bool(adaptive)
         self.trace = trace
         self.runner_kwargs = dict(runner_kwargs)
 
@@ -379,7 +486,13 @@ class SessionPool:
         return kwargs
 
     def _process_map(
-        self, bound: Callable[..., TrialResult], seeds: Sequence[int], chunksize: int, workers: int
+        self,
+        bound: Callable[..., TrialResult],
+        seeds: Sequence[int],
+        chunksize: int,
+        workers: int,
+        material_handle: Any = None,
+        adaptivity: Optional[List[Dict[str, Any]]] = None,
     ) -> List[TrialResult]:
         """Chunked process fan-out; input order preserved.
 
@@ -390,6 +503,7 @@ class SessionPool:
         observed to deadlock on recycle in 3.11.7) it restarts workers
         reliably.  The plain sweep path uses ``ProcessPoolExecutor``.
         """
+        initargs = (self.backend, material_handle)
         if self.max_tasks_per_child is not None:
             import multiprocessing
 
@@ -397,22 +511,83 @@ class SessionPool:
             # must be expressed in chunk units; run() already clamps the
             # chunk size to max_tasks_per_child, and flooring here keeps
             # the per-worker trial count at or under the requested bound.
+            # Adaptive re-plans only ever shrink chunks under recycling
+            # (see _replan_chunksize), so the bound holds for every wave.
             chunks_per_child = max(1, self.max_tasks_per_child // chunksize)
             with multiprocessing.Pool(
                 processes=workers,
                 initializer=_warm_worker if self.warmup else None,
-                initargs=(self.backend,) if self.warmup else (),
+                initargs=initargs if self.warmup else (),
                 maxtasksperchild=chunks_per_child,
             ) as pool:
-                return pool.map(bound, seeds, chunksize=chunksize)
+                return self._drive_map(
+                    lambda tasks, size: pool.map(bound, tasks, chunksize=size),
+                    seeds, chunksize, workers, adaptivity,
+                )
         import concurrent.futures as futures
 
         pool_kwargs: Dict[str, Any] = {"max_workers": workers}
         if self.warmup:
             pool_kwargs["initializer"] = _warm_worker
-            pool_kwargs["initargs"] = (self.backend,)
+            pool_kwargs["initargs"] = initargs
         with futures.ProcessPoolExecutor(**pool_kwargs) as pool:
-            return list(pool.map(bound, seeds, chunksize=chunksize))
+            return self._drive_map(
+                lambda tasks, size: list(pool.map(bound, tasks, chunksize=size)),
+                seeds, chunksize, workers, adaptivity,
+            )
+
+    def _drive_map(
+        self,
+        mapper: Callable[[Sequence[int], int], List[TrialResult]],
+        seeds: Sequence[int],
+        chunksize: int,
+        workers: int,
+        adaptivity: Optional[List[Dict[str, Any]]],
+    ) -> List[TrialResult]:
+        """One map call, or adaptive waves of them over a live pool.
+
+        Adaptive mode dispatches the task list in waves of a few chunks
+        per worker against the *same* pool (workers stay warm), measures
+        each wave's per-task wall time, and re-plans the next wave's
+        chunk size toward :data:`ADAPTIVE_TARGET_CHUNK_S`.  Waves run in
+        task order and ``map`` preserves order within a wave, so results
+        are position-identical to the single-map path — digest
+        comparisons never see the difference.
+        """
+        if adaptivity is None:
+            return mapper(seeds, chunksize)
+        results: List[TrialResult] = []
+        ewma: Optional[float] = None
+        index = 0
+        wave = 0
+        while index < len(seeds):
+            width = max(1, chunksize * workers * ADAPTIVE_CHUNKS_PER_WAVE)
+            wave_tasks = seeds[index : index + width]
+            start = time.perf_counter()
+            wave_results = mapper(wave_tasks, chunksize)
+            elapsed = time.perf_counter() - start
+            results.extend(wave_results)
+            index += len(wave_tasks)
+            observed = _observed_task_seconds(wave_results, elapsed)
+            ewma = (
+                observed
+                if ewma is None
+                else ADAPTIVE_EWMA_ALPHA * observed + (1 - ADAPTIVE_EWMA_ALPHA) * ewma
+            )
+            adaptivity.append(
+                {
+                    "wave": wave,
+                    "tasks": len(wave_tasks),
+                    "chunksize": chunksize,
+                    "ewma_task_s": round(ewma, 6),
+                }
+            )
+            wave += 1
+            if index < len(seeds):
+                chunksize = _replan_chunksize(
+                    chunksize, ewma, self.max_tasks_per_child
+                )
+        return results
 
     def run(self, seeds: Iterable[int]) -> PoolReport:
         """Execute one trial per seed; returns the aggregate report.
@@ -421,12 +596,17 @@ class SessionPool:
         ``Executor.map`` preserves input order — so seed-for-seed digest
         comparison against an inline run needs no re-sorting.
         """
+        from repro.runtime.material import publish_material
+
         seeds = list(seeds)
         kwargs = self._call_kwargs()
         used_workers: Optional[int] = None
         used_chunksize: Optional[int] = None
+        adaptivity: Optional[List[Dict[str, Any]]] = None
         start = time.perf_counter()
         if self.executor == "inline":
+            if self.material != "compute" and self.warmup:
+                self.backend.warm_up(self.material)
             results = [self.runner(seed, **kwargs) for seed in seeds]
         else:
             import functools
@@ -435,6 +615,9 @@ class SessionPool:
             if self.executor == "thread":
                 import concurrent.futures as futures
 
+                if self.material != "compute" and self.warmup:
+                    # Threads share this process's caches: attach once here.
+                    self.backend.warm_up(self.material)
                 used_workers = self.workers
                 with futures.ThreadPoolExecutor(max_workers=self.workers) as pool:
                     results = list(pool.map(bound, seeds))
@@ -447,8 +630,33 @@ class SessionPool:
                     # A chunk larger than the recycle bound could never be
                     # dispatched without exceeding it.
                     used_chunksize = min(used_chunksize, self.max_tasks_per_child)
-                results = self._process_map(bound, seeds, used_chunksize, used_workers)
+                if self.adaptive:
+                    adaptivity = []
+                # No warm-up means no attach: publishing material that no
+                # worker will read would waste the offline build inside
+                # the timed region and misreport the sweep's source.
+                if self.warmup:
+                    handle, release = publish_material(
+                        self.material, groups=self.material_groups
+                    )
+                else:
+                    handle, release = None, lambda: None
+                try:
+                    results = self._process_map(
+                        bound, seeds, used_chunksize, used_workers,
+                        material_handle=handle, adaptivity=adaptivity,
+                    )
+                finally:
+                    release()
         elapsed = time.perf_counter() - start
+        # Process reports always say where worker caches came from;
+        # inline/thread runs only mention material when they attached any,
+        # and a warmup-less sweep attached nothing whatever was asked.
+        material_source: Optional[str] = self.material
+        if not self.warmup:
+            material_source = "compute" if self.executor == "process" else None
+        elif self.executor != "process" and self.material == "compute":
+            material_source = None
         return PoolReport(
             backend=self.backend.name,
             executor=self.executor,
@@ -456,6 +664,8 @@ class SessionPool:
             results=results,
             workers=used_workers,
             chunksize=used_chunksize,
+            material_source=material_source,
+            adaptivity=adaptivity,
         )
 
 

@@ -47,14 +47,25 @@ class SweepPlan:
     chunksize: int
     max_tasks_per_child: Optional[int] = None
     warmup: bool = True
+    #: Where worker warm-up caches come from (compute/disk/shared).
+    material_source: str = "compute"
+    #: Whether the chunk size re-plans mid-sweep from observed task times.
+    adaptive: bool = False
 
     @property
     def chunks(self) -> int:
-        """Number of dispatch units the task list shards into."""
+        """Number of dispatch units the task list shards into.
+
+        For an adaptive sweep this counts the *initial* sharding; the
+        re-planner may split later waves differently (the executed shape
+        lands in the report's adaptivity trace).
+        """
         return -(-self.tasks // self.chunksize) if self.tasks else 0
 
-    def summary(self) -> Dict[str, Any]:
-        return {
+    def summary(self, adaptivity: Optional[Any] = None) -> Dict[str, Any]:
+        """Uniform record; pass a report's ``adaptivity`` trace to embed
+        the executed re-chunking alongside the planned shape."""
+        record = {
             "tasks": self.tasks,
             "executor": self.executor,
             "workers": self.workers,
@@ -62,7 +73,12 @@ class SweepPlan:
             "chunks": self.chunks,
             "max_tasks_per_child": self.max_tasks_per_child,
             "warmup": self.warmup,
+            "material_source": self.material_source,
+            "adaptive": self.adaptive,
         }
+        if adaptivity is not None:
+            record["adaptivity"] = adaptivity
+        return record
 
 
 @dataclass
@@ -93,6 +109,14 @@ class ParallelSweep:
         chunksize: Tasks per process dispatch (default: automatic).
         max_tasks_per_child: Recycle workers after this many tasks.
         warmup: Pre-warm crypto caches in each worker (default True).
+        material: Crypto-material source for worker warm-up —
+            ``"compute"`` (default), ``"disk"`` or ``"shared"`` (see
+            :mod:`repro.runtime.material`); digests are source-invariant.
+        material_groups: Parameter sets to publish material for (default:
+            the test group; pass ``(GROUP_2048,)`` for production-size
+            sweeps).
+        adaptive: Re-plan the chunk size mid-sweep from observed per-task
+            wall time (process executor only).
         trace: Trace-mode override forwarded to the runner.
         runner_kwargs: Extra keyword arguments forwarded to the runner
             (e.g. ``specs=`` for the scenario-cell runner).
@@ -107,11 +131,15 @@ class ParallelSweep:
         chunksize: Optional[int] = None,
         max_tasks_per_child: Optional[int] = None,
         warmup: bool = True,
+        material: Optional[str] = None,
+        material_groups: Optional[Any] = None,
+        adaptive: bool = False,
         trace: Optional[str] = None,
         **runner_kwargs: Any,
     ) -> None:
-        # SessionPool validates executor/chunksize/max_tasks_per_child up
-        # front, so a bad sweep fails at construction, not mid-fan-out.
+        # SessionPool validates executor/chunksize/max_tasks_per_child/
+        # material up front, so a bad sweep fails at construction, not
+        # mid-fan-out.
         self._pool = SessionPool(
             runner=runner,
             backend=backend,
@@ -120,6 +148,9 @@ class ParallelSweep:
             chunksize=chunksize,
             max_tasks_per_child=max_tasks_per_child,
             warmup=warmup,
+            material=material,
+            material_groups=material_groups,
+            adaptive=adaptive,
             trace=trace,
             **runner_kwargs,
         )
@@ -151,6 +182,8 @@ class ParallelSweep:
             chunksize=chunksize,
             max_tasks_per_child=self._pool.max_tasks_per_child,
             warmup=self._pool.warmup,
+            material_source=self._pool.material,
+            adaptive=self._pool.adaptive and executor == "process",
         )
 
     def run(self, tasks: Iterable[Any]) -> PoolReport:
@@ -158,7 +191,13 @@ class ParallelSweep:
         return self._pool.run(tasks)
 
     def _inline_reference(self) -> SessionPool:
-        """An inline pool with identical runner/backend/trace settings."""
+        """An inline pool with identical runner/backend/trace settings.
+
+        Deliberately left on the default ``compute`` material: verify()
+        then checks digest equality *across* material sources (attached
+        tables in the sweep vs locally built ones in the reference),
+        which is exactly the store's correctness contract.
+        """
         return SessionPool(
             runner=self._pool.runner,
             backend=self._pool.backend,

@@ -533,12 +533,18 @@ def run_matrix(
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
     max_tasks_per_child: Optional[int] = None,
+    material: Optional[str] = None,
+    adaptive: bool = False,
 ) -> MatrixReport:
     """Execute every cell through a :class:`ParallelSweep`.
 
     Cells are dispatched by index into ``specs`` (the cell pins its own
     backend and seed), so results — and therefore the report's cell
-    order — match the spec order under every executor.
+    order — match the spec order under every executor.  ``material``
+    feeds worker warm-up from the preprocessing store instead of
+    recomputing, and ``adaptive`` re-plans the chunk size mid-sweep —
+    cells vary ~10x in cost between ``ubc`` and ``sbc-composed``, which
+    fixed chunks either starve on or drown in IPC.
     """
     specs = tuple(specs)
     sweep = ParallelSweep(
@@ -548,6 +554,8 @@ def run_matrix(
         workers=workers,
         chunksize=chunksize,
         max_tasks_per_child=max_tasks_per_child,
+        material=material,
+        adaptive=adaptive,
         specs=specs,
     )
     report = sweep.run(range(len(specs)))

@@ -163,3 +163,58 @@ def test_group_pickles_without_acceleration_state():
     assert clone.power_of_g(12345) == group.power_of_g(12345)
     clone.warm_up()
     assert clone._fb_table is not None
+
+
+def test_precompute_repeated_default_calls_are_cheap_noops():
+    group = _cold_group()
+    group.precompute_fixed_base()
+    table = group._fb_table
+    # Default and same-window calls must reuse the existing table.
+    group.precompute_fixed_base()
+    assert group._fb_table is table
+    group.precompute_fixed_base(group._fb_window)
+    assert group._fb_table is table
+
+
+def test_precompute_explicit_window_rebuilds_consistently():
+    group = _cold_group()
+    group.precompute_fixed_base()
+    default_window = group._fb_window
+    reference = group.power_of_g(123456789)
+    group.precompute_fixed_base(default_window + 2)
+    assert group._fb_window == default_window + 2
+    assert group.power_of_g(123456789) == reference  # values never change
+
+
+def test_fb_table_bytes_tracks_the_serialized_footprint():
+    group = _cold_group()
+    assert group.fb_table_bytes == 0
+    group.precompute_fixed_base()
+    rows = len(group._fb_table)
+    cols = len(group._fb_table[0])
+    width = (group.p.bit_length() + 7) // 8
+    assert group.fb_table_bytes == rows * cols * width
+
+
+def test_install_fixed_base_accepts_only_matching_tables():
+    import pytest
+
+    donor = _cold_group()
+    donor.precompute_fixed_base()
+    table, window = donor._fb_table, donor._fb_window
+    target = _cold_group()
+    target.install_fixed_base(table, window)
+    assert target.power_of_g(54321) == pow(target.g, 54321, target.p)
+
+    with pytest.raises(ValueError, match="shape"):
+        _cold_group().install_fixed_base(table[:-1], window)
+    with pytest.raises(ValueError, match="window"):
+        _cold_group().install_fixed_base(table, 0)
+    doctored = [list(row) for row in table]
+    doctored[0][1] = 12345  # not g
+    with pytest.raises(ValueError, match="row 0"):
+        _cold_group().install_fixed_base(doctored, window)
+    mangled = [list(row) for row in table]
+    mangled[-1][1] = mangled[-1][2]  # break the base ladder in the top row
+    with pytest.raises(ValueError, match="chain"):
+        _cold_group().install_fixed_base(mangled, window)

@@ -1,0 +1,429 @@
+"""Preprocessing store tests: offline build, online attach, corruption.
+
+The store's contract, end to end:
+
+* the offline phase is deterministic and round-trips through a
+  versioned, integrity-hashed blob;
+* the online phase attaches value-identical tables, so seed-for-seed
+  trace digests never depend on the material source
+  (compute == disk == shared);
+* every corruption (truncated, garbage, bit-flipped) degrades to
+  compute with a warning — it never crashes a worker, and never changes
+  results.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.crypto.groups import GROUP_2048, TEST_GROUP, SchnorrGroup
+from repro.crypto.preprocessing import (
+    MaterialError,
+    MaterialFormatError,
+    MaterialIntegrityError,
+    build_material,
+    deserialize_material,
+    group_fingerprint,
+    serialize_material,
+)
+from repro.crypto.shamir import Share, _evaluate, feldman_verify
+from repro.runtime import ParallelSweep, SessionPool
+from repro.runtime.material import (
+    MaterialHandle,
+    MaterialRef,
+    MaterialStore,
+    publish_material,
+    resolve_material_source,
+    warm_with_material,
+)
+
+PARAMS = dict(n=3, mode="hybrid", phi=4, delta=2)
+
+
+def _fresh_group() -> SchnorrGroup:
+    return SchnorrGroup(p=TEST_GROUP.p, q=TEST_GROUP.q, g=TEST_GROUP.g)
+
+
+@pytest.fixture
+def store(tmp_path, monkeypatch):
+    """An isolated store that both this process and forked workers see."""
+    monkeypatch.setenv("REPRO_MATERIAL_DIR", str(tmp_path))
+    return MaterialStore(tmp_path)
+
+
+# ---------------------------------------------------------------------------
+# Offline phase: build + serialization round-trip
+# ---------------------------------------------------------------------------
+
+
+def test_fingerprint_stable_and_parameter_bound():
+    assert group_fingerprint(TEST_GROUP) == group_fingerprint(_fresh_group())
+    assert group_fingerprint(TEST_GROUP) != group_fingerprint(GROUP_2048)
+    assert len(group_fingerprint(TEST_GROUP)) == 16
+
+
+def test_build_is_deterministic_in_seed():
+    one = build_material(TEST_GROUP, nonces=4, feldman=2, seed=7)
+    two = build_material(TEST_GROUP, nonces=4, feldman=2, seed=7)
+    other = build_material(TEST_GROUP, nonces=4, feldman=2, seed=8)
+    assert serialize_material(one) == serialize_material(two)
+    assert serialize_material(one) != serialize_material(other)
+
+
+def test_serialization_roundtrip():
+    material = build_material(TEST_GROUP, nonces=6, feldman=3, feldman_threshold=2)
+    clone = deserialize_material(serialize_material(material))
+    assert clone.fb_table == material.fb_table
+    assert clone.fb_window == material.fb_window
+    assert clone.nonces == material.nonces
+    assert clone.feldman == material.feldman
+    assert clone.fingerprint == material.fingerprint
+    assert clone.fb_table_bytes == material.fb_table_bytes > 0
+
+
+def test_nonce_pool_is_valid_and_exhausts():
+    material = build_material(TEST_GROUP, nonces=3, feldman=0)
+    for _ in range(3):
+        pair = material.draw_nonce()
+        assert pow(TEST_GROUP.g, pair.k, TEST_GROUP.p) == pair.r
+    with pytest.raises(MaterialError, match="exhausted"):
+        material.draw_nonce()
+
+
+def test_feldman_entries_verify_against_their_commitments():
+    material = build_material(TEST_GROUP, nonces=0, feldman=2, feldman_threshold=2)
+    for entry in material.iter_feldman():
+        assert entry.threshold == 2
+        for x in (1, 2, 3):
+            share = Share(x=x, y=_evaluate(entry.coefficients, x, TEST_GROUP.q))
+            assert feldman_verify(TEST_GROUP, share, entry.commitment)
+
+
+def test_attach_installs_the_exact_table():
+    material = build_material(TEST_GROUP, nonces=0, feldman=0)
+    group = _fresh_group()
+    material.attach(group)
+    assert group._fb_table == material.fb_table
+    assert group.power_of_g(98765) == pow(group.g, 98765, group.p)
+    assert group.fb_table_bytes == material.fb_table_bytes
+
+
+def test_attach_refuses_foreign_parameters():
+    material = build_material(TEST_GROUP, nonces=0, feldman=0)
+    with pytest.raises(MaterialError, match="does not match"):
+        material.attach(GROUP_2048)
+
+
+@pytest.mark.parametrize(
+    "mangle, error",
+    [
+        (lambda blob: blob[: len(blob) // 2], MaterialIntegrityError),
+        (lambda blob: b"garbage, not material at all", MaterialFormatError),
+        (lambda blob: blob[:100] + bytes([blob[100] ^ 0xFF]) + blob[101:],
+         MaterialIntegrityError),
+        (lambda blob: b"", MaterialFormatError),
+    ],
+    ids=["truncated", "garbage", "bitflip", "empty"],
+)
+def test_deserialize_rejects_corrupt_blobs(mangle, error):
+    blob = serialize_material(build_material(TEST_GROUP, nonces=2, feldman=1))
+    with pytest.raises(error):
+        deserialize_material(mangle(blob))
+
+
+# ---------------------------------------------------------------------------
+# Store: atomic persistence, lazy build, repair
+# ---------------------------------------------------------------------------
+
+
+def test_store_save_load_inspect_clear(store):
+    material = build_material(TEST_GROUP, nonces=4, feldman=2)
+    path = store.save(material)
+    assert path.name == f"{material.fingerprint}.v1"
+    assert not list(store.root.glob("*.tmp"))  # atomic write left no temp
+    loaded = store.load(TEST_GROUP)
+    assert loaded.fb_table == material.fb_table
+    records = store.inspect()
+    assert len(records) == 1 and records[0]["ok"]
+    assert records[0]["fb_table_bytes"] == material.fb_table_bytes
+    assert store.clear() == 1
+    assert store.inspect() == []
+
+
+def test_store_ensure_builds_on_miss_and_repairs_corruption(store):
+    assert not store.path_for(TEST_GROUP).exists()
+    built = store.ensure(TEST_GROUP, nonces=2, feldman=1)
+    assert store.path_for(TEST_GROUP).exists()
+    store.path_for(TEST_GROUP).write_bytes(b"RPM1 corrupted beyond repair")
+    with pytest.warns(RuntimeWarning, match="rebuilding"):
+        repaired = store.ensure(TEST_GROUP, nonces=2, feldman=1)
+    assert repaired.fb_table == built.fb_table
+    assert store.load(TEST_GROUP).fb_table == built.fb_table
+
+
+def test_resolve_material_source_validates():
+    assert resolve_material_source(None) == "compute"
+    assert resolve_material_source("shared") == "shared"
+    with pytest.raises(ValueError, match="material source"):
+        resolve_material_source("telepathy")
+    with pytest.raises(ValueError, match="material source"):
+        SessionPool(material="telepathy", **PARAMS)
+
+
+# ---------------------------------------------------------------------------
+# Publish/attach: shared memory with mmap and compute fallbacks
+# ---------------------------------------------------------------------------
+
+
+def test_publish_shared_creates_and_releases_segments(store):
+    handle, release = publish_material("shared", store=store)
+    try:
+        assert handle is not None and handle.source == "shared"
+        assert len(handle.refs) == 1
+        ref = handle.refs[0]
+        assert ref.fingerprint == group_fingerprint(TEST_GROUP)
+        assert ref.shm_name and ref.path
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(name=ref.shm_name)
+        try:
+            material = deserialize_material(bytes(segment.buf[: ref.nbytes]))
+            assert material.matches(TEST_GROUP)
+        finally:
+            segment.close()
+    finally:
+        release()
+    from multiprocessing import shared_memory
+
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=handle.refs[0].shm_name)
+
+
+def test_publish_compute_is_a_noop():
+    handle, release = publish_material("compute")
+    assert handle is None
+    release()
+
+
+def _corrupt_file(path: pathlib.Path, kind: str) -> None:
+    blob = path.read_bytes()
+    if kind == "truncated":
+        path.write_bytes(blob[: len(blob) // 3])
+    elif kind == "garbage":
+        path.write_bytes(b"this is not preprocessing material")
+    else:  # integrity-mismatch: flip one body byte, keep magic + length
+        index = len(blob) - 17
+        path.write_bytes(blob[:index] + bytes([blob[index] ^ 0x01]) + blob[index + 1 :])
+
+
+@pytest.mark.parametrize("kind", ["truncated", "garbage", "integrity-mismatch"])
+@pytest.mark.parametrize("source", ["disk", "shared"])
+def test_worker_attach_falls_back_to_compute_on_corruption(
+    store, source, kind
+):
+    """A corrupt blob behind a published ref warns and computes instead."""
+    store.build([TEST_GROUP], nonces=2, feldman=1)
+    path = store.path_for(TEST_GROUP)
+    _corrupt_file(path, kind)
+    if source == "disk":
+        handle = MaterialHandle(
+            source="disk",
+            refs=(
+                MaterialRef(
+                    fingerprint=group_fingerprint(TEST_GROUP),
+                    nbytes=path.stat().st_size,
+                    path=str(path),
+                ),
+            ),
+        )
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            warm_with_material(handle)
+    else:
+        from multiprocessing import shared_memory
+
+        blob = path.read_bytes()
+        segment = shared_memory.SharedMemory(
+            name=f"repro-test-{os.getpid()}-{kind}", create=True, size=max(len(blob), 1)
+        )
+        try:
+            segment.buf[: len(blob)] = blob
+            handle = MaterialHandle(
+                source="shared",
+                refs=(
+                    MaterialRef(
+                        fingerprint=group_fingerprint(TEST_GROUP),
+                        nbytes=len(blob),
+                        shm_name=segment.name,
+                    ),
+                ),
+            )
+            with pytest.warns(RuntimeWarning, match="falling back"):
+                warm_with_material(handle)
+        finally:
+            segment.close()
+            segment.unlink()
+    # The fallback still leaves the process fully warmed and correct.
+    assert TEST_GROUP._fb_table is not None
+    assert TEST_GROUP.power_of_g(4242) == pow(TEST_GROUP.g, 4242, TEST_GROUP.p)
+
+
+@pytest.mark.parametrize("kind", ["truncated", "garbage", "integrity-mismatch"])
+def test_corrupt_store_never_crashes_a_sweep(store, kind):
+    """End to end: corrupt cache + process workers still match inline."""
+    store.build([TEST_GROUP], nonces=2, feldman=1)
+    _corrupt_file(store.path_for(TEST_GROUP), kind)
+    sweep = ParallelSweep(
+        executor="process", workers=2, chunksize=1, material="disk", **PARAMS
+    )
+    with pytest.warns(RuntimeWarning):
+        verdict = sweep.verify(range(3))
+    assert verdict.matched
+
+
+def test_missing_store_lazily_runs_the_offline_phase(store):
+    assert not store.path_for(TEST_GROUP).exists()
+    report = SessionPool(
+        executor="process", workers=2, material="shared", **PARAMS
+    ).run(range(3))
+    assert report.material_source == "shared"
+    assert store.path_for(TEST_GROUP).exists()  # publish persisted the build
+
+
+def test_unknown_fingerprint_is_ignored_with_a_warning():
+    handle = MaterialHandle(
+        source="disk",
+        refs=(MaterialRef(fingerprint="feedfacecafebeef", nbytes=1, path="/none"),),
+    )
+    with pytest.warns(RuntimeWarning, match="no known group"):
+        warm_with_material(handle)
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: digests are material-source-invariant
+# ---------------------------------------------------------------------------
+
+
+def test_digests_identical_across_material_sources_32_tasks(store):
+    """compute == disk == shared, seed for seed, over a 32-task sweep."""
+    seeds = range(32)
+    inline = SessionPool(executor="inline", **PARAMS).run(seeds)
+    digests = {"compute": [r.digest for r in inline.results]}
+    for source in ("compute", "disk", "shared"):
+        report = SessionPool(
+            executor="process", workers=2, material=source, **PARAMS
+        ).run(seeds)
+        digests[f"process-{source}"] = [r.digest for r in report.results]
+    reference = digests["compute"]
+    assert all(values == reference for values in digests.values())
+    assert len(set(reference)) == len(reference)  # distinct seeds, not vacuous
+
+
+def test_scenario_smoke_subset_digests_across_sources(store):
+    from repro.scenarios import default_matrix, run_matrix
+
+    specs = [
+        spec for spec in default_matrix().expand()
+        if spec.stack == "ubc" and spec.backend == "sequential"
+    ][:4]
+    assert len(specs) >= 2
+    reference = run_matrix(specs, executor="inline")
+    for source in ("disk", "shared"):
+        fanned = run_matrix(
+            specs, executor="process", workers=2, material=source, adaptive=True
+        )
+        assert [cell.digest for cell in fanned.cells] == [
+            cell.digest for cell in reference.cells
+        ]
+        assert fanned.ok
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def test_cli_material_build_inspect_clear(store, capsys):
+    from repro.cli import main
+
+    assert main(["material", "build", "--nonces", "4", "--feldman", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "built 2 material sets" in out
+    assert group_fingerprint(TEST_GROUP) in out
+    assert group_fingerprint(GROUP_2048) in out
+
+    assert main(["material", "inspect"]) == 0
+    assert "fb_table_bytes" in capsys.readouterr().out
+
+    assert main(["material", "clear"]) == 0
+    assert "removed 2 material file(s)" in capsys.readouterr().out
+    assert main(["material", "inspect"]) == 0
+    assert "is empty" in capsys.readouterr().out
+
+
+def test_cli_material_inspect_flags_corruption(store, capsys):
+    from repro.cli import main
+
+    store.build([TEST_GROUP], nonces=2, feldman=1)
+    _corrupt_file(store.path_for(TEST_GROUP), "garbage")
+    assert main(["material", "inspect", "--json"]) == 1
+    assert '"ok": false' in capsys.readouterr().out
+
+
+def test_cli_sweep_json_reports_plan_and_material(store, capsys):
+    import json
+
+    from repro.cli import main
+
+    code = main([
+        "sweep", "--sessions", "6", "--executor", "process", "--workers", "2",
+        "--chunksize", "1", "--material", "shared", "--adaptive",
+        "--verify", "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["digests_match"] is True
+    assert payload["plan"]["material_source"] == "shared"
+    assert payload["plan"]["adaptive"] is True
+    assert payload["plan"]["adaptivity"], "adaptivity trace missing from plan"
+    assert payload["report"]["material_source"] == "shared"
+
+
+def test_vanished_segment_falls_back_to_mmap_of_the_store_file(store):
+    """The documented shared-memory fallback: mmap the on-disk blob."""
+    store.build([TEST_GROUP], nonces=2, feldman=1)
+    path = store.path_for(TEST_GROUP)
+    handle = MaterialHandle(
+        source="shared",
+        refs=(
+            MaterialRef(
+                fingerprint=group_fingerprint(TEST_GROUP),
+                nbytes=path.stat().st_size,
+                shm_name="repro-definitely-not-a-segment",
+                path=str(path),
+            ),
+        ),
+    )
+    warm_with_material(handle)  # no warning: the mmap fallback succeeds
+    assert TEST_GROUP.power_of_g(777) == pow(TEST_GROUP.g, 777, TEST_GROUP.p)
+
+
+def test_material_groups_plumbs_production_parameters_to_workers(store):
+    """GROUP_2048 material reaches process workers when asked for."""
+    report = SessionPool(
+        executor="process", workers=1, material="shared",
+        material_groups=(TEST_GROUP, GROUP_2048), **PARAMS
+    ).run(range(2))
+    assert report.material_source == "shared"
+    # The lazy offline phase persisted material for both parameter sets.
+    assert store.path_for(TEST_GROUP).exists()
+    assert store.path_for(GROUP_2048).exists()
+
+
+def test_warmup_off_never_publishes_or_claims_material(store):
+    """warmup=False measures cold workers: nothing to publish or attach."""
+    report = SessionPool(
+        executor="process", workers=1, warmup=False, material="shared", **PARAMS
+    ).run(range(2))
+    assert report.material_source == "compute"  # nothing was attached
+    assert not store.path_for(TEST_GROUP).exists()  # no offline build ran

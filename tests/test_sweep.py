@@ -175,3 +175,66 @@ def test_cli_sweep_rejects_empty_session_count(capsys):
     assert main(["sweep", "--sessions", "0", "--executor", "inline"]) == 2
     assert main(["bench", "--sessions", "0"]) == 2
     assert "--sessions must be >= 1" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Adaptive chunking: EWMA re-planning, bounded moves, determinism
+# ---------------------------------------------------------------------------
+
+
+def test_plan_carries_material_and_adaptive_fields():
+    sweep = ParallelSweep(
+        executor="process", workers=2, material="disk", adaptive=True, **PARAMS
+    )
+    plan = sweep.plan(8)
+    assert plan.material_source == "disk"
+    assert plan.adaptive is True
+    summary = plan.summary(adaptivity=[{"wave": 0}])
+    assert summary["material_source"] == "disk"
+    assert summary["adaptive"] is True
+    assert summary["adaptivity"] == [{"wave": 0}]
+    # Non-process executors never re-plan, whatever the constructor said.
+    inline = ParallelSweep(executor="inline", adaptive=True, **PARAMS).plan(8)
+    assert inline.adaptive is False
+
+
+def test_adaptive_sweep_matches_inline_and_records_trace():
+    sweep = ParallelSweep(
+        executor="process", workers=2, chunksize=1, adaptive=True, **PARAMS
+    )
+    verdict = sweep.verify(range(10))
+    assert verdict.matched
+    assert [r.seed for r in verdict.report.results] == list(range(10))
+    trace = verdict.report.adaptivity
+    assert trace, "adaptive process sweep must record its re-planning trace"
+    assert sum(entry["tasks"] for entry in trace) == 10
+    assert all(entry["chunksize"] >= 1 for entry in trace)
+    assert verdict.report.summary()["adaptive_waves"] == len(trace)
+
+
+def test_adaptive_never_grows_chunks_under_recycling():
+    from repro.runtime.pool import _replan_chunksize
+
+    # Trials looking instant would suggest huge chunks; recycling caps
+    # growth at the current size so the per-worker bound holds.
+    assert _replan_chunksize(4, 1e-6, max_tasks_per_child=8) == 4
+    assert _replan_chunksize(4, 1e-6, max_tasks_per_child=None) == 16  # 4x cap
+    # Slow trials shrink (bounded to /4 per step) in both modes.
+    assert _replan_chunksize(16, 10.0, max_tasks_per_child=8) == 4
+    assert _replan_chunksize(16, 10.0, max_tasks_per_child=None) == 4
+    # Near-target observations keep the size put.
+    from repro.runtime.pool import ADAPTIVE_TARGET_CHUNK_S
+
+    assert _replan_chunksize(4, ADAPTIVE_TARGET_CHUNK_S / 4, None) == 4
+
+
+def test_adaptive_sweep_with_recycling_stays_deterministic():
+    sweep = ParallelSweep(
+        executor="process", workers=2, chunksize=2, adaptive=True,
+        max_tasks_per_child=2, **PARAMS
+    )
+    report = sweep.run(range(8))
+    assert [r.seed for r in report.results] == list(range(8))
+    assert all(entry["chunksize"] <= 2 for entry in report.adaptivity)
+    inline = ParallelSweep(executor="inline", **PARAMS).run(range(8))
+    assert [r.digest for r in report.results] == [r.digest for r in inline.results]
