@@ -1,0 +1,131 @@
+"""Bench-trajectory regression guard: diff two reference-perf artifacts.
+
+CI's ``reference-perf`` job uploads the ``bench.v1`` JSON records of the
+speedup-gated experiments; this script compares the current run's
+records against the previous run's and fails (exit 1) when any guarded
+experiment's wall time regressed by more than the threshold — i.e. a
+>30% throughput regression by default.  A missing baseline (first run,
+expired artifacts) is reported and exits 0: the guard accumulates a
+trajectory, it does not invent one.
+
+Usage::
+
+    python benchmarks/compare_trajectory.py \
+        --baseline previous-results/ --current benchmarks/results/ \
+        [--threshold 0.30] [--experiments E14,E17,E18,E19]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Experiments whose wall time the guard watches by default: the pooled
+#: sweep (E14), process fan-out (E17), material attach (E18) and online
+#: pool spending (E19) — the cross-PR performance trajectory.
+GUARDED_EXPERIMENTS = ("E14", "E17", "E18", "E19")
+
+#: Allowed relative wall-time growth before the guard fails (0.30 =
+#: current may take up to 1.3x the baseline's wall time).
+DEFAULT_THRESHOLD = 0.30
+
+
+def load_record(root: pathlib.Path, experiment: str) -> Optional[Dict]:
+    """The experiment's ``bench.v1`` record under ``root``, or ``None``."""
+    path = root / f"BENCH_{experiment}.json"
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if record.get("schema") != "bench.v1":
+        return None
+    return record
+
+
+def compare(
+    baseline_dir: pathlib.Path,
+    current_dir: pathlib.Path,
+    threshold: float = DEFAULT_THRESHOLD,
+    experiments: Sequence[str] = GUARDED_EXPERIMENTS,
+) -> Tuple[List[str], List[str]]:
+    """Diff guarded experiments; returns ``(report_lines, regressions)``.
+
+    A comparison only happens when both sides carry a positive wall
+    time *and* ran on the same cpu count — a 1-core dev record against
+    a 4-core CI record says nothing about the code.
+    """
+    lines: List[str] = []
+    regressions: List[str] = []
+    for experiment in experiments:
+        baseline = load_record(baseline_dir, experiment)
+        current = load_record(current_dir, experiment)
+        if current is None:
+            lines.append(f"{experiment}: no current record (skipped)")
+            continue
+        if baseline is None:
+            lines.append(f"{experiment}: no baseline record (first run?)")
+            continue
+        base_s = baseline.get("wall_time_s") or 0
+        cur_s = current.get("wall_time_s") or 0
+        if base_s <= 0 or cur_s <= 0:
+            lines.append(f"{experiment}: unusable wall times (skipped)")
+            continue
+        if baseline.get("cpus") != current.get("cpus"):
+            lines.append(
+                f"{experiment}: cpu counts differ "
+                f"({baseline.get('cpus')} vs {current.get('cpus')}; skipped)"
+            )
+            continue
+        ratio = cur_s / base_s
+        verdict = "ok"
+        if ratio > 1 + threshold:
+            verdict = f"REGRESSION (> {1 + threshold:.2f}x)"
+            regressions.append(
+                f"{experiment}: {base_s:.3f}s -> {cur_s:.3f}s ({ratio:.2f}x)"
+            )
+        lines.append(
+            f"{experiment}: {base_s:.3f}s -> {cur_s:.3f}s ({ratio:.2f}x) {verdict}"
+        )
+    return lines, regressions
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail on >threshold wall-time regressions between two "
+        "bench-artifact directories"
+    )
+    parser.add_argument("--baseline", required=True, type=pathlib.Path,
+                        help="directory holding the previous run's BENCH_*.json")
+    parser.add_argument("--current", required=True, type=pathlib.Path,
+                        help="directory holding this run's BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="allowed relative wall-time growth (default 0.30)")
+    parser.add_argument(
+        "--experiments", default=",".join(GUARDED_EXPERIMENTS),
+        help="comma-separated experiment ids to guard",
+    )
+    args = parser.parse_args(argv)
+    if not args.baseline.is_dir():
+        print(f"no baseline directory at {args.baseline}; nothing to compare")
+        return 0
+    experiments = [e for e in args.experiments.split(",") if e]
+    lines, regressions = compare(
+        args.baseline, args.current, threshold=args.threshold,
+        experiments=experiments,
+    )
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"\n{len(regressions)} experiment(s) regressed past "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

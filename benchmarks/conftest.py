@@ -45,8 +45,13 @@ def once(benchmark, fn):
 
 #: Experiments whose claims depend on where worker crypto caches came
 #: from; their records must say so explicitly (E17: process fan-out
-#: sweep, E18: the preprocessing-store warm-up comparison).
-MATERIAL_SOURCE_REQUIRED = ("E17", "E18")
+#: sweep, E18: the preprocessing-store warm-up comparison, E19: online
+#: pool spending vs per-call sampling).
+MATERIAL_SOURCE_REQUIRED = ("E17", "E18", "E19")
+
+#: Experiments that must also state whether trials spent the
+#: preprocessed pools (the offline/online mode axis).
+ONLINE_REQUIRED = ("E19",)
 
 
 def bench_record(
@@ -57,6 +62,7 @@ def bench_record(
     wall_time_s: Optional[float] = None,
     backend: str = "sequential",
     material_source: Optional[str] = None,
+    online: Optional[bool] = None,
     **extra: Any,
 ) -> Dict[str, Any]:
     """Write the uniform per-experiment JSON record (schema ``bench.v1``).
@@ -73,16 +79,25 @@ def bench_record(
             (``compute``/``disk``/``shared``).  Mandatory for the
             experiments in :data:`MATERIAL_SOURCE_REQUIRED` — a sweep
             speedup claim is not comparable across PRs without it.
+        online: Whether trials spent the preprocessed randomness pools
+            (the offline/online protocol mode).  Mandatory for
+            :data:`ONLINE_REQUIRED` experiments.
         extra: Free-form experiment parameters, stored under ``params``.
 
     Raises:
         ValueError: a :data:`MATERIAL_SOURCE_REQUIRED` experiment did not
-            state its material source.
+            state its material source, or an :data:`ONLINE_REQUIRED` one
+            did not state its online axis.
     """
     if experiment in MATERIAL_SOURCE_REQUIRED and material_source is None:
         raise ValueError(
             f"{experiment} records must carry material_source "
             "(compute/disk/shared); see MATERIAL_SOURCE_REQUIRED"
+        )
+    if experiment in ONLINE_REQUIRED and online is None:
+        raise ValueError(
+            f"{experiment} records must state online=True/False; "
+            "see ONLINE_REQUIRED"
         )
     if wall_time_s is None:
         wall_time_s = _LAST_ONCE_S
@@ -100,6 +115,8 @@ def bench_record(
     }
     if material_source is not None:
         record["material_source"] = material_source
+    if online is not None:
+        record["online"] = online
     if extra:
         record["params"] = extra
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -118,6 +135,7 @@ def emit(
     rounds: Optional[int] = None,
     backend: str = "sequential",
     material_source: Optional[str] = None,
+    online: Optional[bool] = None,
     **extra: Any,
 ) -> str:
     """Format, print and persist one experiment table.
@@ -135,6 +153,6 @@ def emit(
     if protocol is not None:
         bench_record(
             experiment, protocol, n=n, rounds=rounds, backend=backend,
-            material_source=material_source, **extra,
+            material_source=material_source, online=online, **extra,
         )
     return table

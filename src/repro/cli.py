@@ -9,8 +9,9 @@ Usage::
     python -m repro.cli lineage   --n 4 16 64
     python -m repro.cli bench     --sessions 32 --backend pooled --compare
     python -m repro.cli sweep     --sessions 64 --executor process --workers 4 --verify
-    python -m repro.cli material  build
+    python -m repro.cli material  build --for-sweep 64
     python -m repro.cli sweep     --sessions 64 --material shared --adaptive
+    python -m repro.cli sweep     --sessions 64 --workload voting --material shared --online --verify
 
 Every protocol command accepts ``--backend`` to pick the execution
 backend (``sequential`` is the reference engine; ``pooled`` / ``batched``
@@ -108,17 +109,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     params = dict(
         n=args.n, mode=args.mode, phi=args.phi, delta=args.delta, senders=args.senders
     )
-    pool = SessionPool(
-        backend=args.backend,
-        executor=args.executor,
-        workers=args.workers,
-        chunksize=args.chunksize,
-        max_tasks_per_child=args.max_tasks_per_child,
-        material=args.material,
-        adaptive=args.adaptive,
-        trace=args.trace,
-        **params,
-    )
+    try:
+        pool = SessionPool(
+            backend=args.backend,
+            executor=args.executor,
+            workers=args.workers,
+            chunksize=args.chunksize,
+            max_tasks_per_child=args.max_tasks_per_child,
+            material=args.material,
+            adaptive=args.adaptive,
+            online=args.online,
+            trace=args.trace,
+            **params,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     seeds = list(range(args.seed, args.seed + args.sessions))
     report = pool.run(seeds)
     rows = [report.summary()]
@@ -131,7 +137,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"per-session: {per_session * 1000:.2f} ms")
     if args.compare:
         print(f"speedup vs sequential loop: {speedup:.2f}x")
-        if args.trace == "full":
+        if args.online:
+            # Online runs spend pools, so their digests are pinned apart
+            # from the per-call baseline by design; an equality check
+            # here would always "fail" without meaning anything.
+            print("trace digests: not compared (online runs are "
+                  "digest-pinned separately from per-call runs; use "
+                  "'repro sweep --online --verify' instead)")
+        elif args.trace == "full":
             from repro.runtime import reports_match
 
             matched = reports_match(report, baseline)
@@ -165,32 +178,48 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("--sessions must be >= 1 (an empty sweep has nothing to report)",
               file=sys.stderr)
         return 2
-    params = dict(
-        n=args.n, mode=args.mode, phi=args.phi, delta=args.delta, senders=args.senders
-    )
+    if args.workload == "voting":
+        from repro.runtime import run_voting_trial
+
+        runner = run_voting_trial
+        params = dict(voters=args.n, mode=args.mode)
+    else:
+        from repro.runtime import run_sbc_trial
+
+        runner = run_sbc_trial
+        params = dict(
+            n=args.n, mode=args.mode, phi=args.phi, delta=args.delta,
+            senders=args.senders,
+        )
     trace = args.trace
     if args.verify and trace != "full":
         if not args.json:
             print("--verify compares trace digests: forcing --trace full")
         trace = "full"
-    sweep = ParallelSweep(
-        backend=args.backend,
-        executor=args.executor,
-        workers=args.workers,
-        chunksize=args.chunksize,
-        max_tasks_per_child=args.max_tasks_per_child,
-        warmup=not args.no_warmup,
-        material=args.material,
-        adaptive=args.adaptive,
-        trace=trace,
-        **params,
-    )
+    try:
+        sweep = ParallelSweep(
+            runner=runner,
+            backend=args.backend,
+            executor=args.executor,
+            workers=args.workers,
+            chunksize=args.chunksize,
+            max_tasks_per_child=args.max_tasks_per_child,
+            warmup=not args.no_warmup,
+            material=args.material,
+            adaptive=args.adaptive,
+            online=args.online,
+            trace=trace,
+            **params,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     seeds = list(range(args.seed, args.seed + args.sessions))
     plan = sweep.plan(len(seeds))
     if not args.json:
         print(format_table(
             [plan.summary()],
-            title=f"sweep plan: {args.sessions} x SBC ({args.mode})",
+            title=f"sweep plan: {args.sessions} x {args.workload} ({args.mode})",
         ))
     if args.verify:
         verdict = sweep.verify(seeds)
@@ -287,15 +316,20 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             print(format_table(rows, title=f"{len(specs)} scenario cells"))
         return 0
 
-    report = run_matrix(
-        specs,
-        executor=args.executor,
-        workers=args.workers,
-        chunksize=args.chunksize,
-        max_tasks_per_child=args.max_tasks_per_child,
-        material=args.material,
-        adaptive=args.adaptive,
-    )
+    try:
+        report = run_matrix(
+            specs,
+            executor=args.executor,
+            workers=args.workers,
+            chunksize=args.chunksize,
+            max_tasks_per_child=args.max_tasks_per_child,
+            material=args.material,
+            adaptive=args.adaptive,
+            online=args.online,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     mismatches = report.backend_mismatches()
     if args.json:
         print(json.dumps(
@@ -340,9 +374,24 @@ def _cmd_material(args: argparse.Namespace) -> int:
 
     store = MaterialStore(args.dir)
     if args.action == "build":
+        nonces, feldman = args.nonces, args.feldman
+        if args.for_sweep is not None:
+            # Size the pools from the sweep's resolved plan so an online
+            # run of that many tasks never falls back to sampling.
+            from repro.runtime import ParallelSweep, online_pool_requirement
+
+            if args.for_sweep < 1:
+                print("--for-sweep must be >= 1", file=sys.stderr)
+                return 2
+            plan = ParallelSweep().plan(args.for_sweep)
+            required = online_pool_requirement(plan.tasks)
+            nonces = max(nonces, required["nonces"])
+            feldman = max(feldman, required["feldman"])
+            print(f"sized for a {plan.tasks}-task online sweep: "
+                  f"{nonces} nonces, {feldman} feldman entries")
         built = store.build(
-            nonces=args.nonces,
-            feldman=args.feldman,
+            nonces=nonces,
+            feldman=feldman,
             feldman_threshold=args.threshold,
             seed=args.seed,
         )
@@ -358,7 +407,16 @@ def _cmd_material(args: argparse.Namespace) -> int:
                   "(run 'repro material build')")
         else:
             print(format_table(records, title=f"preprocessing store: {store.root}"))
-        return 0 if all(record.get("ok") for record in records) else 1
+        bad = [record for record in records if not record.get("ok")]
+        if bad:
+            # Integrity failures must be loud *and* machine-visible: a
+            # fleet provisioning script keying on the exit code should
+            # never ship a corrupt or misnamed blob to its workers.
+            for record in bad:
+                print(f"INTEGRITY: {record['file']}: {record.get('error')}",
+                      file=sys.stderr)
+            return 1
+        return 0
     removed = store.clear()
     print(f"removed {removed} material file(s) from {store.root}")
     return 0
@@ -435,6 +493,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="re-plan the process chunk size mid-sweep from observed "
                  "per-task wall time",
         )
+        p.add_argument(
+            "--online", action="store_true",
+            help="spend the preprocessed randomness pools inside trials "
+                 "(offline/online protocol mode; requires --material "
+                 "disk or shared — see 'repro material build --for-sweep')",
+        )
 
     p = sub.add_parser("bench", help="run a pooled SBC session sweep")
     common(p)
@@ -468,6 +532,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--phi", type=int, default=5)
     p.add_argument("--delta", type=int, default=3)
     p.add_argument("--senders", type=int, default=2)
+    p.add_argument(
+        "--workload", choices=("sbc", "voting"), default="sbc",
+        help="trial workload: SBC sessions, or self-tallying elections "
+             "(each ballot burns a real Σ-protocol nonce — the workload "
+             "that visibly spends pools under --online)",
+    )
     p.add_argument(
         "--executor", choices=("inline", "thread", "process"), default="process",
         help="sweep executor (default: process fan-out)",
@@ -507,6 +577,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Schnorr nonce pairs (k, g^k) per parameter set")
     p.add_argument("--feldman", type=int, default=16,
                    help="Feldman-committed random polynomials per set")
+    p.add_argument("--for-sweep", type=int, default=None, metavar="SESSIONS",
+                   help="size the pools for an online sweep of this many "
+                        "tasks (raises --nonces/--feldman to the sweep "
+                        "plan's requirement)")
     p.add_argument("--threshold", type=int, default=2,
                    help="degree t of the preprocessed Feldman polynomials")
     p.add_argument("--seed", type=int, default=0,

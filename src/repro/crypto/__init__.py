@@ -22,6 +22,10 @@ Modules
 * :mod:`repro.crypto.preprocessing` — the offline phase: build, serialize
   and attach precomputed crypto material (fixed-base tables, Schnorr
   nonce pools, Feldman-committed randomness) for the worker fleet.
+* :mod:`repro.crypto.randomness` — the online-phase seam: signing,
+  proving and Feldman sharing draw their nonces/polynomials from the
+  ambient :class:`~repro.crypto.randomness.RandomnessSource` (default:
+  sample per call; pool-backed cursors spend preprocessed material).
 """
 
 from repro.crypto.hashing import hash_bytes, hash_to_int, xor_bytes
@@ -34,6 +38,13 @@ from repro.crypto.preprocessing import (
     group_fingerprint,
     serialize_material,
 )
+from repro.crypto.randomness import (
+    RandomnessSource,
+    SampleSource,
+    current_source,
+    install_source,
+    spending,
+)
 from repro.crypto.ske import SymmetricKey, ske_decrypt, ske_encrypt, ske_gen
 from repro.crypto.groups import SchnorrGroup, TEST_GROUP
 from repro.crypto.schnorr import SchnorrKeyPair, schnorr_keygen, schnorr_sign, schnorr_verify
@@ -44,11 +55,14 @@ __all__ = [
     "ElGamalCiphertext",
     "MaterialError",
     "MaterialIntegrityError",
+    "RandomnessSource",
+    "SampleSource",
     "SchnorrGroup",
     "SchnorrKeyPair",
     "SymmetricKey",
     "TEST_GROUP",
     "build_material",
+    "current_source",
     "deserialize_material",
     "elgamal_decrypt",
     "elgamal_encrypt",
@@ -56,6 +70,7 @@ __all__ = [
     "group_fingerprint",
     "hash_bytes",
     "hash_to_int",
+    "install_source",
     "serialize_material",
     "schnorr_keygen",
     "schnorr_sign",
@@ -63,5 +78,6 @@ __all__ = [
     "ske_decrypt",
     "ske_encrypt",
     "ske_gen",
+    "spending",
     "xor_bytes",
 ]

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from repro.crypto.groups import SchnorrGroup, TEST_GROUP
 from repro.crypto.hashing import hash_to_int
+from repro.crypto.randomness import current_source
 
 
 @dataclass(frozen=True)
@@ -48,10 +49,14 @@ def _challenge(group: SchnorrGroup, r: int, public: int, message: bytes) -> int:
 
 
 def schnorr_sign(keypair: SchnorrKeyPair, message: bytes, rng) -> SchnorrSignature:
-    """Sign ``message``: r = g^k, e = H(r, y, M), s = k + e·x mod q."""
+    """Sign ``message``: r = g^k, e = H(r, y, M), s = k + e·x mod q.
+
+    The nonce pair comes from the ambient
+    :class:`~repro.crypto.randomness.RandomnessSource`: sampled from
+    ``rng`` by default, spent from a preprocessed pool in online mode.
+    """
     group = keypair.group
-    k = group.random_scalar(rng)
-    r = group.power_of_g(k)
+    k, r = current_source().schnorr_nonce(group, rng)
     e = _challenge(group, r, keypair.public, message)
     s = (k + e * keypair.secret) % group.q
     return SchnorrSignature(r=r, s=s)

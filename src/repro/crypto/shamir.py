@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.crypto.groups import SchnorrGroup
+from repro.crypto.randomness import current_source
 
 
 @dataclass(frozen=True)
@@ -105,20 +106,24 @@ def reconstruct_secret(shares: Sequence[Share], modulus: int) -> int:
 def feldman_share(
     group: SchnorrGroup, secret: int, threshold: int, parties: int, rng
 ) -> Tuple[List[Share], FeldmanCommitment]:
-    """Shamir-share ``secret`` over Z_q and publish ``g^{a_k}`` commitments."""
+    """Shamir-share ``secret`` over Z_q and publish ``g^{a_k}`` commitments.
+
+    The random coefficients and their commitments come from the ambient
+    :class:`~repro.crypto.randomness.RandomnessSource` — sampled from
+    ``rng`` by default, spent from a preprocessed Feldman entry (random
+    tail coefficients with commitments already exponentiated offline) in
+    online mode.
+    """
     if not 0 <= threshold < parties:
         raise ValueError("need 0 <= threshold < parties")
-    coefficients = [secret % group.q] + [
-        rng.randrange(group.q) for _ in range(threshold)
-    ]
+    coefficients, commitments = current_source().feldman_polynomial(
+        group, secret, threshold, rng
+    )
     shares = [
         Share(x=i, y=_evaluate(coefficients, i, group.q))
         for i in range(1, parties + 1)
     ]
-    commitment = FeldmanCommitment(
-        commitments=tuple(group.power_of_g(a) for a in coefficients)
-    )
-    return shares, commitment
+    return shares, FeldmanCommitment(commitments=commitments)
 
 
 def feldman_verify(group: SchnorrGroup, share: Share, commitment: FeldmanCommitment) -> bool:

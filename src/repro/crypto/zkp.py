@@ -21,6 +21,22 @@ from typing import List, Sequence, Tuple
 
 from repro.crypto.groups import SchnorrGroup
 from repro.crypto.hashing import hash_to_int
+from repro.crypto.randomness import current_source
+
+
+def _commitment_nonce(group: SchnorrGroup, base: int, rng) -> Tuple[int, int]:
+    """One fresh ``(k, base^k)`` from the ambient randomness source.
+
+    When the base is the group generator the preprocessed ``(k, g^k)``
+    pool applies directly; any other base gets a pool/sampled scalar and
+    pays the exponentiation online (the commitment cannot be precomputed
+    for a base only known at proving time).
+    """
+    source = current_source()
+    if base == group.g:
+        return source.schnorr_nonce(group, rng)
+    k = source.nonce_scalar(group, rng)
+    return k, group.exp(base, k)
 
 
 # ---------------------------------------------------------------------------
@@ -46,8 +62,7 @@ def _fs_challenge(group: SchnorrGroup, *elements: int, domain: bytes) -> int:
 
 def pok_prove(group: SchnorrGroup, base: int, public: int, secret: int, rng) -> SchnorrProof:
     """Prove knowledge of ``secret`` with ``public = base^secret``."""
-    k = group.random_scalar(rng)
-    a = group.exp(base, k)
+    k, a = _commitment_nonce(group, base, rng)
     e = _fs_challenge(group, base, public, a, domain=b"pok")
     s = (k + e * secret) % group.q
     return SchnorrProof(a=a, s=s)
@@ -85,8 +100,7 @@ def cp_prove(
     rng,
 ) -> CPProof:
     """Prove ``log_base1(public1) == log_base2(public2) == secret``."""
-    k = group.random_scalar(rng)
-    a1 = group.exp(base1, k)
+    k, a1 = _commitment_nonce(group, base1, rng)
     a2 = group.exp(base2, k)
     e = _fs_challenge(group, base1, public1, base2, public2, a1, a2, domain=b"cp")
     s = (k + e * secret) % group.q
@@ -167,11 +181,11 @@ def ballot_prove(
     challenges: List[int] = [0] * len(choices)
     responses: List[int] = [0] * len(choices)
 
-    k = group.random_scalar(rng)
+    k, real_a1 = _commitment_nonce(group, key_base, rng)
     for index, choice in enumerate(choices):
         public1, public2 = _ballot_statement(group, seed, w, ballot, choice)
         if index == real_index:
-            commitments[index] = (group.exp(key_base, k), group.exp(seed, k))
+            commitments[index] = (real_a1, group.exp(seed, k))
         else:
             challenges[index] = group.random_scalar(rng)
             responses[index] = group.random_scalar(rng)

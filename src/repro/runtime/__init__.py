@@ -38,8 +38,12 @@ from repro.runtime.driver import (
 )
 from repro.runtime.material import (
     MATERIAL_SOURCES,
+    MaterialCursor,
     MaterialHandle,
     MaterialStore,
+    OnlinePlan,
+    attached_material,
+    online_pool_requirement,
     publish_material,
     resolve_material_source,
     warm_with_material,
@@ -54,9 +58,11 @@ from repro.runtime.pool import (
     canonical_detail,
     compare_trace_digests,
     ensure_agreement,
+    record_online_spend,
     reports_match,
     resolve_workers,
     run_sbc_trial,
+    run_voting_trial,
     sequential_loop,
     trace_digest,
 )
@@ -69,8 +75,10 @@ __all__ = [
     "BatchedRoundDriver",
     "ExecutionBackend",
     "MATERIAL_SOURCES",
+    "MaterialCursor",
     "MaterialHandle",
     "MaterialStore",
+    "OnlinePlan",
     "POOLED",
     "ParallelSweep",
     "PoolReport",
@@ -83,18 +91,22 @@ __all__ = [
     "TraceDigestUnavailable",
     "TrialDisagreement",
     "TrialResult",
+    "attached_material",
     "auto_chunksize",
     "available_backends",
     "canonical_detail",
     "compare_trace_digests",
     "ensure_agreement",
     "get_backend",
+    "online_pool_requirement",
     "publish_material",
+    "record_online_spend",
     "register_backend",
     "reports_match",
     "resolve_material_source",
     "resolve_workers",
     "run_sbc_trial",
+    "run_voting_trial",
     "sequential_loop",
     "trace_digest",
     "warm_with_material",

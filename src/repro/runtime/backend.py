@@ -81,7 +81,12 @@ class ExecutionBackend:
                 :class:`~repro.runtime.material.MaterialHandle` attaches
                 what the parent published (shared memory, mmap fallback).
                 Every failure degrades to compute with a warning; the
-                installed tables are value-identical either way.
+                installed tables are value-identical either way.  A
+                successful attach also registers the material's
+                randomness pools with this process
+                (:func:`~repro.runtime.material.attached_material`), so
+                online-mode cursors can spend them without re-reading
+                the blob per trial.
         """
         from repro.runtime.material import warm_with_material
 

@@ -21,10 +21,22 @@ Every failure path degrades to ``compute`` with a :class:`RuntimeWarning`
 down, it never crashes one — and attached tables are shape- and
 spot-checked, so the degradation can never silently change results
 (trace digests are identical across all three sources by construction).
+
+The **online mode** lives here too: :class:`MaterialCursor` implements
+the :class:`~repro.crypto.randomness.RandomnessSource` seam over a
+reserved slice of one material's nonce/Feldman pools, and
+:class:`OnlinePlan` partitions those pools across a sweep's tasks —
+each task gets the slice at ``slot * per_task``, so process fan-out can
+never double-spend an entry and an inline replay of the same plan spends
+exactly the same entries (seed-for-seed digest equality, ``--verify``).
+Exhausted or unavailable slices fall back to sampling with a counted
+warning; the consumed ranges land in the execution trace, which pins
+pool-consuming digests separately from sample-per-call runs.
 """
 
 from __future__ import annotations
 
+import json
 import mmap
 import os
 import pathlib
@@ -43,18 +55,26 @@ from repro.crypto.preprocessing import (
     group_fingerprint,
     serialize_material,
 )
+from repro.crypto.randomness import RandomnessSource, SampleSource
 
 __all__ = [
+    "DEFAULT_FELDMAN_PER_TASK",
+    "DEFAULT_NONCES_PER_TASK",
     "MATERIAL_COMPUTE",
     "MATERIAL_DISK",
     "MATERIAL_SHARED",
     "MATERIAL_SOURCES",
+    "MaterialCursor",
     "MaterialHandle",
     "MaterialRef",
     "MaterialStore",
+    "OnlinePlan",
+    "attached_material",
     "default_groups",
     "default_material_dir",
+    "online_pool_requirement",
     "publish_material",
+    "register_attached",
     "resolve_material_source",
     "warm_with_material",
 ]
@@ -158,6 +178,27 @@ class MaterialStore:
             )
         return material
 
+    def load_fingerprint(self, fingerprint: str) -> CryptoMaterial:
+        """Load the store file named by a bare fingerprint.
+
+        The online phase resolves pools by fingerprint (that is all an
+        :class:`OnlinePlan` carries across the process boundary), so this
+        is the lookup path when the in-process attach registry misses.
+
+        Raises:
+            FileNotFoundError: no material cached for this fingerprint.
+            MaterialError: corrupt file, or a file whose embedded
+                parameters do not hash to its name.
+        """
+        path = self.root / f"{fingerprint}{self.SUFFIX}"
+        material = deserialize_material(path.read_bytes())
+        if material.fingerprint != fingerprint:
+            raise MaterialIntegrityError(
+                f"store file {path.name} holds material fingerprinted "
+                f"{material.fingerprint} (renamed or cross-copied file)"
+            )
+        return material
+
     def ensure(self, group: SchnorrGroup, **build_kwargs: Any) -> CryptoMaterial:
         """Load the cached material, building (and persisting) on a miss.
 
@@ -207,8 +248,59 @@ class MaterialStore:
             built.append(material)
         return built
 
+    def _spent_path(self, fingerprint: str) -> pathlib.Path:
+        return self.root / f"{fingerprint}{self.SUFFIX}.spent"
+
+    def spent(self, fingerprint: str) -> Dict[str, int]:
+        """Cumulative online consumption recorded against one material.
+
+        Advisory bookkeeping for operators (when to rebuild bigger
+        pools), not a security mechanism: repeated sweeps re-spend from
+        slot 0 so replays stay reproducible, and the ledger simply sums
+        what every online sweep reported consuming.
+        """
+        try:
+            record = json.loads(self._spent_path(fingerprint).read_text())
+            return {
+                "nonces_spent": int(record.get("nonces_spent", 0)),
+                "feldman_spent": int(record.get("feldman_spent", 0)),
+            }
+        except (OSError, ValueError):
+            return {"nonces_spent": 0, "feldman_spent": 0}
+
+    def record_spend(
+        self, fingerprint: str, nonces: int = 0, feldman: int = 0
+    ) -> Dict[str, int]:
+        """Add one sweep's pool consumption to the ledger sidecar."""
+        totals = self.spent(fingerprint)
+        totals["nonces_spent"] += max(0, int(nonces))
+        totals["feldman_spent"] += max(0, int(feldman))
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._spent_path(fingerprint)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(totals, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return totals
+
     def inspect(self) -> List[Dict[str, Any]]:
-        """One record per store file: pool sizes, footprint, integrity."""
+        """One record per store file: pool sizes, remaining capacity,
+        footprint, integrity.
+
+        ``nonces_remaining``/``feldman_remaining`` subtract the spend
+        ledger from the built pool sizes — the number an operator needs
+        to decide when ``material build`` is due again.  A file whose
+        embedded parameters do not hash to its own name is flagged
+        ``ok=False`` exactly like a payload-hash failure: it would
+        silently serve the wrong pools.
+        """
         records: List[Dict[str, Any]] = []
         if not self.root.is_dir():
             return records
@@ -219,18 +311,34 @@ class MaterialStore:
             }
             try:
                 material = deserialize_material(path.read_bytes())
+                named = path.name[: -len(self.SUFFIX)]
+                if material.fingerprint != named:
+                    raise MaterialIntegrityError(
+                        f"file is named {named} but holds material "
+                        f"fingerprinted {material.fingerprint}"
+                    )
             except MaterialError as exc:
                 record.update({"ok": False, "error": str(exc)})
             else:
+                spent = self.spent(material.fingerprint)
                 record.update({"ok": True, **material.summary()})
+                record["nonces_remaining"] = max(
+                    0, len(material.nonces) - spent["nonces_spent"]
+                )
+                record["feldman_remaining"] = max(
+                    0, len(material.feldman) - spent["feldman_spent"]
+                )
             records.append(record)
         return records
 
     def clear(self) -> int:
-        """Delete every store file; returns how many were removed."""
+        """Delete every store file (and spend ledger); returns how many
+        material files were removed."""
         removed = 0
         if not self.root.is_dir():
             return removed
+        for path in self.root.glob(f"*{self.SUFFIX}.spent"):
+            path.unlink()
         for path in self.root.glob(f"*{self.SUFFIX}"):
             path.unlink()
             removed += 1
@@ -396,7 +504,9 @@ def _attach_handle(handle: MaterialHandle) -> None:
             )
             continue
         try:
-            deserialize_material(_read_ref(ref)).attach(group)
+            material = deserialize_material(_read_ref(ref))
+            material.attach(group)
+            register_attached(material)
         except Exception as exc:
             warnings.warn(
                 f"could not attach preprocessed material {ref.fingerprint} "
@@ -435,3 +545,348 @@ def warm_with_material(
             finally:
                 release()
     warm_groups()
+
+
+# ---------------------------------------------------------------------------
+# Online phase: spend the preprocessed pools
+# ---------------------------------------------------------------------------
+
+#: Nonce pairs reserved per sweep task in online mode.  A hybrid-mode SBC
+#: trial signs nothing (Fcert is ideal there) while a composed-mode trial
+#: signs once per Dolev–Strong relay; slices that run out fall back to
+#: sampling with a counted warning, so the budget bounds pool footprint,
+#: not correctness.
+DEFAULT_NONCES_PER_TASK = 8
+
+#: Feldman entries reserved per sweep task in online mode.
+DEFAULT_FELDMAN_PER_TASK = 2
+
+#: fingerprint -> material this process attached (worker initializer or
+#: inline warm-up).  Cursors only read from it — per-trial positions live
+#: in the cursor, so one worker's trials can share the object safely.
+_ATTACHED: Dict[str, CryptoMaterial] = {}
+
+
+def register_attached(material: CryptoMaterial) -> CryptoMaterial:
+    """Remember an attached material so online cursors can spend it."""
+    _ATTACHED[material.fingerprint] = material
+    return material
+
+
+def attached_material(fingerprint: str) -> Optional[CryptoMaterial]:
+    """The material this process attached for ``fingerprint``, if any."""
+    return _ATTACHED.get(fingerprint)
+
+
+def online_pool_requirement(
+    tasks: int,
+    nonces_per_task: int = DEFAULT_NONCES_PER_TASK,
+    feldman_per_task: int = DEFAULT_FELDMAN_PER_TASK,
+) -> Dict[str, int]:
+    """Pool sizes an online sweep of ``tasks`` tasks needs to never
+    fall back to sampling (``repro material build --for-sweep``)."""
+    if tasks < 0:
+        raise ValueError(f"tasks must be >= 0, got {tasks}")
+    return {
+        "nonces": tasks * nonces_per_task,
+        "feldman": tasks * feldman_per_task,
+    }
+
+
+class MaterialCursor(RandomnessSource):
+    """Spend a reserved slice of one material's randomness pools.
+
+    Implements the :class:`~repro.crypto.randomness.RandomnessSource`
+    seam: Schnorr nonces come from ``material.nonces[start:stop]`` and
+    Feldman polynomials from ``material.feldman[start:stop]``, in order.
+    Draws past the reserved slice (or past the built pool, or for a
+    group/threshold the entry was not built for) fall back to sampling
+    from the caller's ``rng`` — counted, warned once per cursor, and
+    recorded in :meth:`spend_summary` so the trace digest pins exactly
+    what happened.
+
+    One cursor serves one trial; cursors never mutate the shared
+    material object, so every trial in a worker can hold its own cursor
+    over the same attached blob.
+    """
+
+    name = "pool"
+
+    def __init__(
+        self,
+        fingerprint: str,
+        material: Optional[CryptoMaterial],
+        nonce_range: Tuple[int, int] = (0, 0),
+        feldman_range: Tuple[int, int] = (0, 0),
+    ) -> None:
+        self.fingerprint = fingerprint
+        self.material = material
+        self.nonce_range = (int(nonce_range[0]), int(nonce_range[1]))
+        self.feldman_range = (int(feldman_range[0]), int(feldman_range[1]))
+        self._nonce_next = self.nonce_range[0]
+        self._feldman_next = self.feldman_range[0]
+        self.nonces_spent = 0
+        self.feldman_spent = 0
+        self.nonces_sampled = 0
+        self.feldman_sampled = 0
+        self._sample = SampleSource()
+        self._warned = False
+
+    # -- draw paths ---------------------------------------------------------
+
+    def _pool_limit(self, stop: int, pool_len: int) -> int:
+        return min(stop, pool_len)
+
+    def _warn_fallback(self, what: str) -> None:
+        if not self._warned:
+            self._warned = True
+            warnings.warn(
+                f"online pool {self.fingerprint} ran out of {what} for this "
+                "trial's reserved slice; falling back to sampling (counted "
+                "in the trace; rebuild with 'repro material build "
+                "--for-sweep' to size the pools)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def _next_nonce(self, group) -> Optional[Any]:
+        material = self.material
+        if material is None or (group.p, group.q, group.g) != (
+            material.p, material.q, material.g
+        ):
+            return None
+        limit = self._pool_limit(self.nonce_range[1], len(material.nonces))
+        if self._nonce_next >= limit:
+            return None
+        pair = material.nonces[self._nonce_next]
+        self._nonce_next += 1
+        self.nonces_spent += 1
+        return pair
+
+    def schnorr_nonce(self, group, rng) -> Tuple[int, int]:
+        pair = self._next_nonce(group)
+        if pair is not None:
+            return pair.k, pair.r
+        self.nonces_sampled += 1
+        self._warn_fallback("nonces")
+        return self._sample.schnorr_nonce(group, rng)
+
+    def nonce_scalar(self, group, rng) -> int:
+        pair = self._next_nonce(group)
+        if pair is not None:
+            return pair.k
+        self.nonces_sampled += 1
+        self._warn_fallback("nonces")
+        return self._sample.nonce_scalar(group, rng)
+
+    def feldman_polynomial(self, group, secret, threshold, rng):
+        material = self.material
+        if material is not None and (group.p, group.q, group.g) == (
+            material.p, material.q, material.g
+        ):
+            limit = self._pool_limit(self.feldman_range[1], len(material.feldman))
+            if self._feldman_next < limit:
+                entry = material.feldman[self._feldman_next]
+                if entry.threshold == threshold:
+                    self._feldman_next += 1
+                    self.feldman_spent += 1
+                    secret = secret % group.q
+                    coefficients = [secret] + list(entry.coefficients[1:])
+                    commitments = (group.power_of_g(secret),) + tuple(
+                        entry.commitments[1:]
+                    )
+                    return coefficients, commitments
+        self.feldman_sampled += 1
+        self._warn_fallback("feldman entries")
+        return self._sample.feldman_polynomial(group, secret, threshold, rng)
+
+    # -- reporting ----------------------------------------------------------
+
+    def spend_summary(self) -> Dict[str, Any]:
+        """Canonical-detail-friendly record of what this cursor consumed.
+
+        Recorded into the execution trace (so the digest pins the pool
+        identity and the consumed ranges) and carried on the trial
+        result (so sweeps can aggregate and ledger the consumption).
+        """
+        material = self.material
+        return {
+            "fingerprint": self.fingerprint,
+            "source": self.name,
+            "material_seed": material.built_with_seed if material else None,
+            "pool_nonces": len(material.nonces) if material else 0,
+            "pool_feldman": len(material.feldman) if material else 0,
+            "nonce_range": self.nonce_range,
+            "feldman_range": self.feldman_range,
+            "nonces_spent": self.nonces_spent,
+            "feldman_spent": self.feldman_spent,
+            "nonces_sampled": self.nonces_sampled,
+            "feldman_sampled": self.feldman_sampled,
+        }
+
+
+@dataclass(frozen=True)
+class OnlinePlan:
+    """How one sweep's tasks partition the preprocessed pools.
+
+    Picklable and shipped to every worker via the runner's ``online=``
+    keyword.  Each task maps to a *slot*; slot ``s`` owns the pool slice
+    ``[s * per_task, (s + 1) * per_task)`` for both pools, so two tasks
+    with different slots can never double-spend an entry — whichever
+    worker runs them, in whatever order.  Slots default to the task's
+    position in the sweep's task list; callers may assign explicit slots
+    (the scenario matrix gives backend-variant cells of one execution
+    the *same* slot, because those cells must replay identically for the
+    cross-backend digest check).
+
+    Attributes:
+        fingerprint: Group fingerprint naming the material to spend.
+        assignments: ``(task, slot)`` pairs covering every sweep task.
+        nonces_per_task: Nonce pairs reserved per slot.
+        feldman_per_task: Feldman entries reserved per slot.
+        material_seed: Offline seed the pools were built with; cursors
+            refuse a registry hit whose seed or pool sizes disagree (a
+            stale attach from an earlier store generation) and fall back
+            to the store file.
+        pool_nonces: Built nonce-pool size, for the same staleness check.
+        pool_feldman: Built Feldman-pool size.
+    """
+
+    fingerprint: str
+    assignments: Tuple[Tuple[Any, int], ...]
+    nonces_per_task: int = DEFAULT_NONCES_PER_TASK
+    feldman_per_task: int = DEFAULT_FELDMAN_PER_TASK
+    material_seed: int = 0
+    pool_nonces: int = 0
+    pool_feldman: int = 0
+
+    @classmethod
+    def for_tasks(
+        cls,
+        tasks: Sequence[Any],
+        group: Optional[SchnorrGroup] = None,
+        slots: Optional[Sequence[int]] = None,
+        nonces_per_task: int = DEFAULT_NONCES_PER_TASK,
+        feldman_per_task: int = DEFAULT_FELDMAN_PER_TASK,
+        store: Optional[MaterialStore] = None,
+    ) -> "OnlinePlan":
+        """Plan a sweep over ``tasks``, ensuring the store holds pools.
+
+        The store blob is built on a miss (the lazy offline phase, same
+        as the publish path), and its recorded seed and pool sizes are
+        embedded in the plan so every cursor can validate the material
+        it resolves against what the parent planned with.
+        """
+        group = group if group is not None else TEST_GROUP
+        store = store or MaterialStore()
+        material = store.ensure(group)
+        tasks = list(tasks)
+        if slots is None:
+            slots = range(len(tasks))
+        else:
+            slots = list(slots)
+            if len(slots) != len(tasks):
+                raise ValueError(
+                    f"{len(slots)} slots assigned for {len(tasks)} tasks"
+                )
+        return cls(
+            fingerprint=material.fingerprint,
+            assignments=tuple(zip(tasks, slots)),
+            nonces_per_task=nonces_per_task,
+            feldman_per_task=feldman_per_task,
+            material_seed=material.built_with_seed,
+            pool_nonces=len(material.nonces),
+            pool_feldman=len(material.feldman),
+        )
+
+    def slot_of(self, task: Any) -> int:
+        """The pool slot reserved for ``task``.
+
+        Raises:
+            KeyError: the task was not part of this plan.
+        """
+        # Built lazily around the frozen dataclass; a linear scan over
+        # assignments would make a sweep's slot lookups quadratic in its
+        # task count.
+        index = self.__dict__.get("_slot_index")
+        if index is None:
+            index = dict(self.assignments)
+            object.__setattr__(self, "_slot_index", index)
+        slot = index.get(task)
+        if slot is None:
+            raise KeyError(f"task {task!r} is not part of this online plan")
+        return slot
+
+    def ranges_for(self, slot: int) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+        """``(nonce_range, feldman_range)`` owned by ``slot``."""
+        if slot < 0:
+            raise ValueError(f"slot must be >= 0, got {slot}")
+        return (
+            (slot * self.nonces_per_task, (slot + 1) * self.nonces_per_task),
+            (slot * self.feldman_per_task, (slot + 1) * self.feldman_per_task),
+        )
+
+    def _resolve_material(self) -> Optional[CryptoMaterial]:
+        """This process's copy of the planned pools (registry, then store).
+
+        A registry hit whose seed or pool sizes disagree with the plan is
+        a stale attach from an earlier store generation; the store file
+        is the tiebreaker.  ``None`` (everything failed) degrades every
+        draw to counted sampling — the same never-crash contract the
+        attach path holds.
+        """
+        def matches(material: CryptoMaterial) -> bool:
+            return (
+                material.built_with_seed == self.material_seed
+                and len(material.nonces) == self.pool_nonces
+                and len(material.feldman) == self.pool_feldman
+            )
+
+        material = attached_material(self.fingerprint)
+        if material is not None and matches(material):
+            return material
+        try:
+            material = MaterialStore().load_fingerprint(self.fingerprint)
+        except (OSError, MaterialError):
+            return None
+        if not matches(material):
+            return None
+        return register_attached(material)
+
+    def open(self, task: Any) -> MaterialCursor:
+        """A cursor over ``task``'s reserved pool slices.
+
+        Never raises for a missing/stale/mismatched material — the
+        cursor just samples everything (counted), keeping the worker
+        alive and the degradation visible in the trace.
+        """
+        try:
+            slot = self.slot_of(task)
+        except KeyError:
+            warnings.warn(
+                f"task {task!r} missing from the online plan; its trial "
+                "will sample instead of spending pools",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return MaterialCursor(self.fingerprint, None)
+        nonce_range, feldman_range = self.ranges_for(slot)
+        material = self._resolve_material()
+        if material is None:
+            warnings.warn(
+                f"online material {self.fingerprint} unavailable or stale "
+                "in this process; trial falls back to sampling",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return MaterialCursor(
+            self.fingerprint, material,
+            nonce_range=nonce_range, feldman_range=feldman_range,
+        )
+
+    def required_pools(self) -> Dict[str, int]:
+        """Pool sizes that would satisfy every slot without fallback."""
+        top = 1 + max((slot for _task, slot in self.assignments), default=-1)
+        return online_pool_requirement(
+            top, self.nonces_per_task, self.feldman_per_task
+        )

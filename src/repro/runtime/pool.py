@@ -15,7 +15,7 @@ import hashlib
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.runtime.backend import ExecutionBackend, get_backend
 
@@ -136,6 +136,9 @@ class TrialResult:
         messages: Total messages counted by the session metrics.
         digest: Trace digest (empty string when tracing is off).
         outputs: Compact, picklable summary of the protocol outputs.
+        online: Pool-spend summary for online-mode trials (the cursor's
+            fingerprint, reserved ranges and consumed/sampled counts);
+            ``None`` for sample-per-call trials.
     """
 
     seed: int
@@ -144,6 +147,7 @@ class TrialResult:
     messages: int
     digest: str
     outputs: Any = None
+    online: Optional[Dict[str, Any]] = None
 
 
 class TrialDisagreement(AssertionError):
@@ -183,6 +187,36 @@ def ensure_agreement(delivered: Dict[str, Any], seed: Optional[int] = None) -> A
     return reference
 
 
+#: Trace-event kind under which a trial records its pool consumption.
+ONLINE_EVENT_KIND = "online.spend"
+
+
+def record_online_spend(session, cursor) -> Optional[Dict[str, Any]]:
+    """Log one trial's pool consumption into its execution trace.
+
+    The spend summary (pool fingerprint, reserved cursor ranges,
+    consumed/sampled counts) becomes an ordinary trace event, so the
+    trial's digest pins *which* pool entries the run spent — two
+    pool-consuming runs only digest-equal when they spent the same
+    entries of the same material, and a pool-consuming run can never
+    digest-equal a sample-per-call run.  Returns the summary for the
+    :class:`TrialResult`; ``cursor=None`` (an offline trial) records
+    nothing and returns ``None``, so runners need no conditional.  A
+    ``light``-trace session records nothing (its digest is empty
+    anyway) but still returns the summary.
+    """
+    if cursor is None:
+        return None
+    summary = cursor.spend_summary()
+    session.log.record(
+        time=session.clock.time,
+        kind=ONLINE_EVENT_KIND,
+        source="runtime.material",
+        detail=summary,
+    )
+    return summary
+
+
 def run_sbc_trial(
     seed: int,
     n: int = 3,
@@ -192,21 +226,30 @@ def run_sbc_trial(
     senders: int = 1,
     backend: Union[str, ExecutionBackend] = "pooled",
     trace: Optional[str] = None,
+    online: Optional[Any] = None,
 ) -> TrialResult:
     """Run one full SBC session end to end and summarise it.
 
     Module-level (hence picklable) so :class:`SessionPool` can dispatch it
-    to ``concurrent.futures`` process workers.
+    to ``concurrent.futures`` process workers.  With ``online`` (an
+    :class:`~repro.runtime.material.OnlinePlan`) the trial spends its
+    reserved slice of the preprocessed randomness pools and records the
+    consumed cursor ranges in the trace.
     """
     from repro.core.stacks import build_sbc_stack
+    from repro.crypto.randomness import spending
 
+    cursor = online.open(seed) if online is not None else None
     start = time.perf_counter()
-    stack = build_sbc_stack(
-        n=n, mode=mode, seed=seed, phi=phi, delta=delta, backend=backend, trace=trace
-    )
-    for index in range(senders):
-        stack.parties[f"P{index % n}"].broadcast(f"m{seed}-{index}".encode())
-    stack.run_until_delivery()
+    with spending(cursor):
+        stack = build_sbc_stack(
+            n=n, mode=mode, seed=seed, phi=phi, delta=delta, backend=backend,
+            trace=trace,
+        )
+        for index in range(senders):
+            stack.parties[f"P{index % n}"].broadcast(f"m{seed}-{index}".encode())
+        stack.run_until_delivery()
+    online_record = record_online_spend(stack.session, cursor)
     elapsed = time.perf_counter() - start
     delivered = stack.delivered()
     honest_views = {
@@ -222,6 +265,64 @@ def run_sbc_trial(
         messages=stack.session.metrics.get("messages.total"),
         digest=trace_digest(stack.session.log),
         outputs=repr(agreed),
+        online=online_record,
+    )
+
+
+def run_voting_trial(
+    seed: int,
+    voters: int = 3,
+    candidates: Tuple[str, ...] = ("yes", "no"),
+    mode: str = "hybrid",
+    backend: Union[str, ExecutionBackend] = "pooled",
+    trace: Optional[str] = None,
+    online: Optional[Any] = None,
+) -> TrialResult:
+    """Run one self-tallying election end to end and summarise it.
+
+    The election workload is the sweep engine's proof-of-spend: every
+    ballot carries a disjunctive Σ-protocol validity proof, so each
+    trial burns real nonces — sampled per call by default, spent from
+    the trial's reserved pool slice under an
+    :class:`~repro.runtime.material.OnlinePlan`.  Module-level (hence
+    picklable) for process fan-out, like :func:`run_sbc_trial`.
+    """
+    from repro.core.stacks import build_voting_stack
+    from repro.crypto.randomness import spending
+
+    candidates = tuple(candidates)
+    cursor = online.open(seed) if online is not None else None
+    start = time.perf_counter()
+    with spending(cursor):
+        stack = build_voting_stack(
+            voters=voters, mode=mode, seed=seed, candidates=candidates,
+            backend=backend, trace=trace,
+        )
+        if mode == "ideal":
+            stack.service.init()
+        else:
+            for authority in stack.authorities.values():
+                authority.deal()
+            stack.run_rounds(1)
+        for index in range(voters):
+            stack.parties[f"V{index}"].vote(candidates[index % len(candidates)])
+        stack.run_until_result()
+    online_record = record_online_spend(stack.session, cursor)
+    elapsed = time.perf_counter() - start
+    honest_tallies = {
+        pid: tuple(sorted(tally.items()))
+        for pid, tally in stack.results().items()
+        if not stack.session.is_corrupted(pid)
+    }
+    agreed = ensure_agreement(honest_tallies, seed=seed)
+    return TrialResult(
+        seed=seed,
+        wall_time_s=elapsed,
+        rounds=stack.session.metrics.get("rounds.advanced"),
+        messages=stack.session.metrics.get("messages.total"),
+        digest=trace_digest(stack.session.log),
+        outputs=repr(agreed),
+        online=online_record,
     )
 
 
@@ -240,6 +341,8 @@ class PoolReport:
     material_source: Optional[str] = None
     #: Per-wave re-chunking trace for adaptive sweeps (None otherwise).
     adaptivity: Optional[List[Dict[str, Any]]] = None
+    #: Aggregate pool consumption for online-mode sweeps (None otherwise).
+    online_spend: Optional[Dict[str, int]] = None
 
     @property
     def sessions(self) -> int:
@@ -281,6 +384,9 @@ class PoolReport:
             # SweepPlan.summary(adaptivity=...)); the flat record only
             # says how many times the sweep re-chunked.
             record["adaptive_waves"] = len(self.adaptivity)
+        if self.online_spend is not None:
+            record["online"] = True
+            record.update(self.online_spend)
         return record
 
 
@@ -431,6 +537,17 @@ class SessionPool:
         adaptive: Re-plan the process chunk size mid-sweep from observed
             per-task wall time (EWMA, bounded moves; shrink-only under
             worker recycling).  Ignored by inline/thread executors.
+        online: Spend the preprocessed randomness pools inside trials
+            (the offline/online protocol mode).  ``True`` partitions the
+            pools across tasks by position; an explicit
+            :class:`~repro.runtime.material.OnlinePlan` pins custom slot
+            assignments.  Requires a pool-bearing ``material`` source
+            (``disk``/``shared``), ``warmup``, a non-thread executor
+            (thread trials would share one ambient cursor) and an
+            online-aware runner (one accepting an ``online=`` keyword).
+            Pool-consuming digests are pinned separately from
+            sample-per-call digests — see
+            :func:`record_online_spend`.
         trace: Optional trace-mode override forwarded to the runner
             (``"light"`` turns the EventLog off for throughput runs).
     """
@@ -447,10 +564,11 @@ class SessionPool:
         material: Optional[str] = None,
         material_groups: Optional[Sequence[Any]] = None,
         adaptive: bool = False,
+        online: Any = False,
         trace: Optional[str] = None,
         **runner_kwargs: Any,
     ) -> None:
-        from repro.runtime.material import resolve_material_source
+        from repro.runtime.material import MATERIAL_COMPUTE, resolve_material_source
 
         if executor not in ("inline", "thread", "process"):
             raise ValueError(f"executor must be inline/thread/process, got {executor!r}")
@@ -472,8 +590,71 @@ class SessionPool:
             tuple(material_groups) if material_groups is not None else None
         )
         self.adaptive = bool(adaptive)
+        self.online = online
         self.trace = trace
         self.runner_kwargs = dict(runner_kwargs)
+        if self.online:
+            if self.material == MATERIAL_COMPUTE:
+                raise ValueError(
+                    "online mode spends the preprocessing store: pick "
+                    "material='disk' or 'shared' (compute has no pools)"
+                )
+            if executor == "thread":
+                raise ValueError(
+                    "online mode is not supported on the thread executor "
+                    "(interleaved trials would share one ambient cursor)"
+                )
+            if not warmup:
+                raise ValueError(
+                    "online mode needs warmup=True (the warm-up attach is "
+                    "what installs the pools)"
+                )
+
+    def _online_plan(self, seeds: Sequence[Any]) -> Optional[Any]:
+        """Resolve this sweep's :class:`OnlinePlan` (or ``None``).
+
+        ``online=True`` plans positionally over ``seeds`` against the
+        first material group; an explicit plan passes through untouched
+        (the caller owns slot assignment — and the reference replay of a
+        ``verify()`` must reuse the sweep's exact plan).
+        """
+        if not self.online:
+            return None
+        from repro.runtime.material import OnlinePlan
+
+        if isinstance(self.online, OnlinePlan):
+            return self.online
+        from repro.crypto.groups import TEST_GROUP
+
+        group = (self.material_groups or (TEST_GROUP,))[0]
+        return OnlinePlan.for_tasks(seeds, group=group)
+
+    def _aggregate_online(
+        self, plan: Any, results: Sequence[Any]
+    ) -> Dict[str, int]:
+        """Sum per-trial spend records and ledger them against the store."""
+        totals = {
+            "nonces_spent": 0,
+            "feldman_spent": 0,
+            "nonces_sampled": 0,
+            "feldman_sampled": 0,
+        }
+        for result in results:
+            record = getattr(result, "online", None)
+            if record:
+                for key in totals:
+                    totals[key] += int(record.get(key, 0))
+        try:
+            from repro.runtime.material import MaterialStore
+
+            MaterialStore().record_spend(
+                plan.fingerprint,
+                nonces=totals["nonces_spent"],
+                feldman=totals["feldman_spent"],
+            )
+        except OSError:
+            pass  # advisory bookkeeping must never fail a finished sweep
+        return totals
 
     def _call_kwargs(self) -> Dict[str, Any]:
         kwargs = dict(self.runner_kwargs)
@@ -600,6 +781,9 @@ class SessionPool:
 
         seeds = list(seeds)
         kwargs = self._call_kwargs()
+        online_plan = self._online_plan(seeds)
+        if online_plan is not None:
+            kwargs["online"] = online_plan
         used_workers: Optional[int] = None
         used_chunksize: Optional[int] = None
         adaptivity: Optional[List[Dict[str, Any]]] = None
@@ -657,6 +841,11 @@ class SessionPool:
             material_source = "compute" if self.executor == "process" else None
         elif self.executor != "process" and self.material == "compute":
             material_source = None
+        online_spend = (
+            self._aggregate_online(online_plan, results)
+            if online_plan is not None
+            else None
+        )
         return PoolReport(
             backend=self.backend.name,
             executor=self.executor,
@@ -666,6 +855,7 @@ class SessionPool:
             chunksize=used_chunksize,
             material_source=material_source,
             adaptivity=adaptivity,
+            online_spend=online_spend,
         )
 
 

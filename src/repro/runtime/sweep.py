@@ -51,6 +51,9 @@ class SweepPlan:
     material_source: str = "compute"
     #: Whether the chunk size re-plans mid-sweep from observed task times.
     adaptive: bool = False
+    #: Whether trials spend the preprocessed randomness pools (online
+    #: protocol mode; digests pinned separately from compute runs).
+    online: bool = False
 
     @property
     def chunks(self) -> int:
@@ -75,6 +78,7 @@ class SweepPlan:
             "warmup": self.warmup,
             "material_source": self.material_source,
             "adaptive": self.adaptive,
+            "online": self.online,
         }
         if adaptivity is not None:
             record["adaptivity"] = adaptivity
@@ -117,6 +121,12 @@ class ParallelSweep:
             sweeps).
         adaptive: Re-plan the chunk size mid-sweep from observed per-task
             wall time (process executor only).
+        online: Spend the preprocessed randomness pools inside trials
+            (``True`` for positional slot assignment, or an explicit
+            :class:`~repro.runtime.material.OnlinePlan`); requires a
+            pool-bearing ``material`` source.  ``verify()`` replays the
+            same plan inline from the disk store, so pool-consuming
+            sweeps stay seed-for-seed digest-checkable.
         trace: Trace-mode override forwarded to the runner.
         runner_kwargs: Extra keyword arguments forwarded to the runner
             (e.g. ``specs=`` for the scenario-cell runner).
@@ -134,12 +144,13 @@ class ParallelSweep:
         material: Optional[str] = None,
         material_groups: Optional[Any] = None,
         adaptive: bool = False,
+        online: Any = False,
         trace: Optional[str] = None,
         **runner_kwargs: Any,
     ) -> None:
         # SessionPool validates executor/chunksize/max_tasks_per_child/
-        # material up front, so a bad sweep fails at construction, not
-        # mid-fan-out.
+        # material/online up front, so a bad sweep fails at construction,
+        # not mid-fan-out.
         self._pool = SessionPool(
             runner=runner,
             backend=backend,
@@ -151,6 +162,7 @@ class ParallelSweep:
             material=material,
             material_groups=material_groups,
             adaptive=adaptive,
+            online=online,
             trace=trace,
             **runner_kwargs,
         )
@@ -184,24 +196,46 @@ class ParallelSweep:
             warmup=self._pool.warmup,
             material_source=self._pool.material,
             adaptive=self._pool.adaptive and executor == "process",
+            online=bool(self._pool.online),
         )
 
     def run(self, tasks: Iterable[Any]) -> PoolReport:
         """Execute every task; results come back in task order."""
         return self._pool.run(tasks)
 
-    def _inline_reference(self) -> SessionPool:
+    def _inline_reference(self, tasks: Optional[Iterable[Any]] = None) -> SessionPool:
         """An inline pool with identical runner/backend/trace settings.
 
         Deliberately left on the default ``compute`` material: verify()
         then checks digest equality *across* material sources (attached
         tables in the sweep vs locally built ones in the reference),
         which is exactly the store's correctness contract.
+
+        Online sweeps are the exception: the reference must *spend the
+        same pool entries*, so it attaches the disk store (same blob the
+        sweep published) and replays the sweep's exact
+        :class:`~repro.runtime.material.OnlinePlan` — which is how
+        pool-consuming process runs stay seed-for-seed verifiable.
         """
+        if not self._pool.online:
+            return SessionPool(
+                runner=self._pool.runner,
+                backend=self._pool.backend,
+                executor="inline",
+                trace=self._pool.trace,
+                **self._pool.runner_kwargs,
+            )
+        from repro.runtime.material import MATERIAL_DISK
+
         return SessionPool(
             runner=self._pool.runner,
             backend=self._pool.backend,
             executor="inline",
+            material=MATERIAL_DISK,
+            material_groups=self._pool.material_groups,
+            online=self._pool.online
+            if not isinstance(self._pool.online, bool)
+            else self._pool._online_plan(list(tasks or ())),
             trace=self._pool.trace,
             **self._pool.runner_kwargs,
         )
@@ -216,7 +250,7 @@ class ParallelSweep:
         """
         tasks = list(tasks)
         report = self.run(tasks)
-        reference = self._inline_reference().run(tasks)
+        reference = self._inline_reference(tasks).run(tasks)
         return SweepVerification(
             report=report,
             reference=reference,

@@ -37,6 +37,7 @@ __all__ = [
     "ScenarioOutcome",
     "evaluate_scenario",
     "extra_scenarios",
+    "online_slots_for",
     "run_matrix",
     "run_scenario",
     "run_scenario_trial",
@@ -401,12 +402,20 @@ _WORLDS: Dict[str, Callable[[ScenarioSpec, Adversary], _World]] = {
 # ---------------------------------------------------------------------------
 
 
-def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
+def run_scenario(spec: ScenarioSpec, cursor: Optional[Any] = None) -> ScenarioOutcome:
     """Build and drive one cell; returns the live outcome (session attached).
+
+    With ``cursor`` (a :class:`~repro.runtime.material.MaterialCursor`)
+    the cell spends its reserved slice of the preprocessed randomness
+    pools and records the consumption in its trace — the online mode's
+    digest-pinning rule, applied to scenario cells.
 
     Raises:
         KeyError: unknown stack or adversary strategy.
     """
+    from repro.crypto.randomness import spending
+    from repro.runtime.pool import record_online_spend
+
     try:
         world_cls = _WORLDS[spec.stack]
     except KeyError:
@@ -414,10 +423,12 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
         raise KeyError(f"unknown stack {spec.stack!r} (known: {known})") from None
     adversary = make_adversary(spec)
     start = time.perf_counter()
-    world = world_cls(spec, adversary)
-    world.drive()
+    with spending(cursor):
+        world = world_cls(spec, adversary)
+        world.drive()
     elapsed = time.perf_counter() - start
     session = world.session
+    record_online_spend(session, cursor)
     expected_pids = [
         pid for pid in world.parties if not session.is_corrupted(pid)
     ]
@@ -435,9 +446,11 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
     )
 
 
-def evaluate_scenario(spec: ScenarioSpec) -> CellResult:
+def evaluate_scenario(
+    spec: ScenarioSpec, cursor: Optional[Any] = None
+) -> CellResult:
     """Run one cell and judge its expected properties."""
-    outcome = run_scenario(spec)
+    outcome = run_scenario(spec, cursor=cursor)
     results = evaluate(outcome, spec.expectations())
     return CellResult(
         cell_id=spec.cell_id,
@@ -459,14 +472,18 @@ def run_scenario_trial(
     specs: Sequence[ScenarioSpec] = (),
     backend: Any = None,
     trace: Optional[str] = None,
+    online: Optional[Any] = None,
 ) -> TrialResult:
     """SessionPool trial runner: one matrix cell per "seed" (the index).
 
     ``backend``/``trace`` are accepted because :class:`SessionPool`
     forwards its own defaults to every runner, but each cell pins its
     backend as a matrix axis, so the pool-level values are ignored.
+    ``online`` (an :class:`~repro.runtime.material.OnlinePlan`) gives
+    the cell a cursor over its reserved pool slice.
     """
-    cell = evaluate_scenario(specs[index])
+    cursor = online.open(index) if online is not None else None
+    cell = evaluate_scenario(specs[index], cursor=cursor)
     return TrialResult(
         seed=index,
         wall_time_s=cell.wall_time_s,
@@ -474,6 +491,7 @@ def run_scenario_trial(
         messages=cell.messages,
         digest=cell.digest,
         outputs=cell,
+        online=cursor.spend_summary() if cursor is not None else None,
     )
 
 
@@ -527,6 +545,30 @@ class MatrixReport:
         }
 
 
+def online_slots_for(specs: Sequence[ScenarioSpec]) -> List[int]:
+    """Pool-slot assignment for a spec list in online mode.
+
+    Cells that are the *same execution* replayed under a different
+    backend must spend the same pool entries, or the matrix's
+    cross-backend digest check would always fail in online mode.  The
+    replay key is therefore the whole execution identity except the
+    backend — stack, adversary, full fault plan, seed, party/sender
+    counts and parameter overrides — so two cells only share a slot
+    (and pool entries) when they are bit-for-bit the same execution;
+    any genuinely distinct cell gets its own slot and can never
+    double-spend.
+    """
+    groups: Dict[Tuple[Any, ...], int] = {}
+    slots = []
+    for spec in specs:
+        key = (
+            spec.stack, spec.adversary, spec.faults, spec.seed,
+            spec.n, spec.senders, spec.params,
+        )
+        slots.append(groups.setdefault(key, len(groups)))
+    return slots
+
+
 def run_matrix(
     specs: Iterable[ScenarioSpec],
     executor: str = "inline",
@@ -535,6 +577,7 @@ def run_matrix(
     max_tasks_per_child: Optional[int] = None,
     material: Optional[str] = None,
     adaptive: bool = False,
+    online: bool = False,
 ) -> MatrixReport:
     """Execute every cell through a :class:`ParallelSweep`.
 
@@ -544,9 +587,19 @@ def run_matrix(
     feeds worker warm-up from the preprocessing store instead of
     recomputing, and ``adaptive`` re-plans the chunk size mid-sweep —
     cells vary ~10x in cost between ``ubc`` and ``sbc-composed``, which
-    fixed chunks either starve on or drown in IPC.
+    fixed chunks either starve on or drown in IPC.  ``online`` spends
+    the preprocessed randomness pools inside cells, with backend-variant
+    replays of one execution sharing a pool slot (see
+    :func:`online_slots_for`).
     """
     specs = tuple(specs)
+    online_plan: Any = False
+    if online:
+        from repro.runtime.material import OnlinePlan
+
+        online_plan = OnlinePlan.for_tasks(
+            range(len(specs)), slots=online_slots_for(specs)
+        )
     sweep = ParallelSweep(
         runner=run_scenario_trial,
         backend="sequential",
@@ -556,6 +609,7 @@ def run_matrix(
         max_tasks_per_child=max_tasks_per_child,
         material=material,
         adaptive=adaptive,
+        online=online_plan,
         specs=specs,
     )
     report = sweep.run(range(len(specs)))
