@@ -166,3 +166,98 @@ def test_e15_fixed_base_wallclock(benchmark):
     group.precompute_fixed_base()
     rng = random.Random(17)
     benchmark(lambda: group.power_of_g(rng.randrange(1, group.q)))
+
+
+# ---------------------------------------------------------------------------
+# E20 — Arithmetic tier: gmpy2 vs pure-python primitives
+# ---------------------------------------------------------------------------
+
+
+def test_e20_arith_backend_speedup(benchmark):
+    """E20: native (gmpy2) vs pure-python big-integer arithmetic.
+
+    Asserted only where gmpy2 is importable (the optional ``native``
+    extra); a python-only host records an honest fallback row instead —
+    values are identical across tiers either way, so the record is purely
+    about speed.
+    """
+    from repro.crypto.groups import (
+        GROUP_2048,
+        available_arith_backends,
+        get_arith_backend,
+        set_arith_backend,
+    )
+
+    have_gmpy2 = "gmpy2" in available_arith_backends()
+
+    def sweep():
+        rng = random.Random(20)
+        group = GROUP_2048
+        exponents = [rng.randrange(1, group.q) for _ in range(40)]
+        bases = [pow(group.g, e, group.p) for e in exponents[:8]]
+        pairs = tuple(zip(bases, exponents[:8]))
+
+        before = get_arith_backend().name
+        timings = {}
+        results = {}
+        try:
+            for name in ("python", "gmpy2") if have_gmpy2 else ("python",):
+                backend = set_arith_backend(name)
+                scratch = SchnorrGroup(p=group.p, q=group.q, g=group.g)
+                modexp_s, modexp = _best_of(
+                    2,
+                    lambda: [
+                        backend.powmod(base, exponent, group.p)
+                        for base, exponent in zip(bases * 5, exponents)
+                    ],
+                )
+                multi_s, multi = _best_of(2, lambda: scratch.multi_exp(pairs))
+                timings[name] = (modexp_s, multi_s)
+                results[name] = (modexp, multi)
+        finally:
+            set_arith_backend(before)
+
+        rows = []
+        if have_gmpy2:
+            assert results["gmpy2"] == results["python"]  # value parity
+            modexp_speedup = timings["python"][0] / timings["gmpy2"][0]
+            multi_speedup = timings["python"][1] / timings["gmpy2"][1]
+            assert modexp_speedup >= 1.2, (
+                f"gmpy2 modexp only {modexp_speedup:.2f}x over python"
+            )
+            for name in ("python", "gmpy2"):
+                modexp_s, multi_s = timings[name]
+                rows.append(
+                    {
+                        "backend": name,
+                        "modexp_2048_ms": round(modexp_s * 1000, 2),
+                        "multi_exp_8_ms": round(multi_s * 1000, 2),
+                        "modexp_speedup": round(
+                            timings["python"][0] / modexp_s, 2
+                        ),
+                    }
+                )
+        else:
+            modexp_s, multi_s = timings["python"]
+            rows.append(
+                {
+                    "backend": "python",
+                    "modexp_2048_ms": round(modexp_s * 1000, 2),
+                    "multi_exp_8_ms": round(multi_s * 1000, 2),
+                    "modexp_speedup": "n/a (gmpy2 unavailable)",
+                }
+            )
+        return rows
+
+    rows = once(benchmark, sweep)
+    emit(
+        "E20",
+        "Arithmetic tier: gmpy2 vs pure-python (2048-bit primitives)",
+        rows,
+        protocol="crypto-arith",
+        n=None,
+        rounds=None,
+        op="powmod+multi_exp",
+        gmpy2_available=have_gmpy2,
+        speedup_asserted=have_gmpy2,
+    )

@@ -15,7 +15,11 @@ Usage::
 
 Every protocol command accepts ``--backend`` to pick the execution
 backend (``sequential`` is the reference engine; ``pooled`` / ``batched``
-are the runtime's throughput drivers).
+are the runtime's throughput drivers).  The top-level ``--arith`` flag
+selects the big-integer arithmetic tier (``auto`` picks gmpy2 when
+installed; results are identical across tiers, only speed changes), and
+``--batch-verify`` on the sweep/bench/scenario/election commands batches
+verification rounds through random-linear-combination multi-exps.
 """
 
 from __future__ import annotations
@@ -55,26 +59,31 @@ def _cmd_beacon(args: argparse.Namespace) -> int:
 
 def _cmd_election(args: argparse.Namespace) -> int:
     from repro.core import build_voting_stack
+    from repro.crypto.batch import BatchPolicy, batching
 
     candidates = tuple(args.candidates)
-    stack = build_voting_stack(
-        voters=args.voters, mode=args.mode, seed=args.seed, candidates=candidates,
-        phi=max(4, 5 if args.mode == "composed" else 4),
-        delta=3 if args.mode == "composed" else 2,
-        backend=args.backend,
-    )
-    if args.mode == "ideal":
-        stack.service.init()
-    else:
-        for authority in stack.authorities.values():
-            authority.deal()
-        stack.run_rounds(1)
-    for index in range(args.voters):
-        choice = candidates[index % len(candidates)]
-        stack.parties[f"V{index}"].vote(choice)
-        print(f"V{index} cast (hidden until the release round)")
-    stack.run_until_result()
+    policy = BatchPolicy() if args.batch_verify else None
+    with batching(policy):
+        stack = build_voting_stack(
+            voters=args.voters, mode=args.mode, seed=args.seed, candidates=candidates,
+            phi=max(4, 5 if args.mode == "composed" else 4),
+            delta=3 if args.mode == "composed" else 2,
+            backend=args.backend,
+        )
+        if args.mode == "ideal":
+            stack.service.init()
+        else:
+            for authority in stack.authorities.values():
+                authority.deal()
+            stack.run_rounds(1)
+        for index in range(args.voters):
+            choice = candidates[index % len(candidates)]
+            stack.parties[f"V{index}"].vote(choice)
+            print(f"V{index} cast (hidden until the release round)")
+        stack.run_until_result()
     print(f"self-tally: {stack.results()['V0']}")
+    if policy is not None:
+        print("tally verification: batched (one RLC multi-exp per voter view)")
     return 0
 
 
@@ -119,6 +128,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             material=args.material,
             adaptive=args.adaptive,
             online=args.online,
+            batch_verify=args.batch_verify,
             trace=args.trace,
             **params,
         )
@@ -129,6 +139,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     report = pool.run(seeds)
     rows = [report.summary()]
     if args.compare:
+        if args.batch_verify:
+            # The baseline must batch too, or the verify.batch trace
+            # events would make the digest comparison meaningless.
+            from repro.crypto.batch import BatchPolicy
+
+            params = dict(params, batch=BatchPolicy())
         baseline = sequential_loop(seeds, **params)
         rows.append(baseline.summary())
         speedup = baseline.wall_time_s / report.wall_time_s
@@ -208,6 +224,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             material=args.material,
             adaptive=args.adaptive,
             online=args.online,
+            batch_verify=args.batch_verify,
             trace=trace,
             **params,
         )
@@ -326,6 +343,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             material=args.material,
             adaptive=args.adaptive,
             online=args.online,
+            batch_verify=args.batch_verify,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -435,6 +453,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="UC simultaneous broadcast against a dishonest majority",
     )
+    parser.add_argument(
+        "--arith", choices=("auto", "gmpy2", "python"), default=None,
+        help="big-integer arithmetic tier: 'gmpy2' requires the optional "
+             "native extra, 'python' forces the stdlib fallback, 'auto' "
+             "(the default) picks gmpy2 when importable; every tier "
+             "produces identical values and trace digests",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p: argparse.ArgumentParser, modes=("ideal", "hybrid", "composed")) -> None:
@@ -464,6 +489,11 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--voters", type=int, default=3)
     p.add_argument("--candidates", nargs="+", default=["yes", "no"])
+    p.add_argument(
+        "--batch-verify", action="store_true",
+        help="verify the tally round's certificates and ballot proofs as "
+             "one random-linear-combination batch per voter view",
+    )
     p.set_defaults(func=_cmd_election)
 
     p = sub.add_parser("auction", help="run a sealed-bid auction over SBC")
@@ -498,6 +528,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="spend the preprocessed randomness pools inside trials "
                  "(offline/online protocol mode; requires --material "
                  "disk or shared — see 'repro material build --for-sweep')",
+        )
+        p.add_argument(
+            "--batch-verify", action="store_true",
+            help="batch verification rounds inside trials through one "
+                 "random-linear-combination multi-exp per round "
+                 "(outputs identical to per-item verification; batched "
+                 "runs are digest-pinned via verify.batch trace events)",
         )
 
     p = sub.add_parser("bench", help="run a pooled SBC session sweep")
@@ -622,6 +659,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.arith is not None:
+        from repro.crypto.groups import set_arith_backend
+
+        try:
+            set_arith_backend(args.arith)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     return args.func(args)
 
 

@@ -12,7 +12,12 @@ Modules
 * :mod:`repro.crypto.ske` — IND-CPA symmetric encryption (hash stream
   cipher + MAC), used by the Astrolabous TLE scheme.
 * :mod:`repro.crypto.groups` — Schnorr group (prime-order subgroup of
-  :math:`\\mathbb{Z}_p^*`) with safe test/production parameter sets.
+  :math:`\\mathbb{Z}_p^*`) with safe test/production parameter sets and
+  the pluggable arithmetic tier (pure-python default, gmpy2 when the
+  optional native extra is installed; values identical either way).
+* :mod:`repro.crypto.batch` — random-linear-combination batch
+  verification: check N Σ-protocol equations with one seeded multi-exp,
+  bisect to the exact culprit set on failure.
 * :mod:`repro.crypto.schnorr` — Schnorr signatures (EUF-CMA in the ROM).
 * :mod:`repro.crypto.elgamal` — (exponential) ElGamal encryption.
 * :mod:`repro.crypto.zkp` — Schnorr PoK, Chaum–Pedersen equality, and
@@ -46,11 +51,28 @@ from repro.crypto.randomness import (
     spending,
 )
 from repro.crypto.ske import SymmetricKey, ske_decrypt, ske_encrypt, ske_gen
-from repro.crypto.groups import SchnorrGroup, TEST_GROUP
+from repro.crypto.groups import (
+    SchnorrGroup,
+    TEST_GROUP,
+    available_arith_backends,
+    get_arith_backend,
+    set_arith_backend,
+)
 from repro.crypto.schnorr import SchnorrKeyPair, schnorr_keygen, schnorr_sign, schnorr_verify
 from repro.crypto.elgamal import ElGamalCiphertext, elgamal_decrypt, elgamal_encrypt, elgamal_keygen
+from repro.crypto.batch import (
+    BatchItem,
+    BatchPolicy,
+    BatchReport,
+    batching,
+    current_policy,
+    verify_batch,
+)
 
 __all__ = [
+    "BatchItem",
+    "BatchPolicy",
+    "BatchReport",
     "CryptoMaterial",
     "ElGamalCiphertext",
     "MaterialError",
@@ -61,17 +83,22 @@ __all__ = [
     "SchnorrKeyPair",
     "SymmetricKey",
     "TEST_GROUP",
+    "available_arith_backends",
+    "batching",
     "build_material",
+    "current_policy",
     "current_source",
     "deserialize_material",
     "elgamal_decrypt",
     "elgamal_encrypt",
     "elgamal_keygen",
+    "get_arith_backend",
     "group_fingerprint",
     "hash_bytes",
     "hash_to_int",
     "install_source",
     "serialize_material",
+    "set_arith_backend",
     "schnorr_keygen",
     "schnorr_sign",
     "schnorr_verify",
@@ -79,5 +106,6 @@ __all__ = [
     "ske_encrypt",
     "ske_gen",
     "spending",
+    "verify_batch",
     "xor_bytes",
 ]

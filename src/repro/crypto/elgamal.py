@@ -39,8 +39,28 @@ def elgamal_encrypt(
     )
 
 
+def elgamal_ciphertext_valid(group: SchnorrGroup, ciphertext: ElGamalCiphertext) -> bool:
+    """Whether both components are elements of the order-``q`` subgroup.
+
+    Honest ciphertexts always are; batch-verification layers and decrypt
+    fast paths screen with this (a single Jacobi symbol per component on
+    safe-prime groups) before assuming subgroup-order arithmetic applies.
+    """
+    return group.is_member(ciphertext.a) and group.is_member(ciphertext.b)
+
+
 def elgamal_decrypt(group: SchnorrGroup, secret: int, ciphertext: ElGamalCiphertext) -> int:
-    """Recover the group element: ``b / a^secret``."""
+    """Recover the group element: ``b / a^secret``.
+
+    For well-formed ciphertexts ``a`` has order ``q``, so the quotient
+    collapses to one multi-exp ``b^1 · a^(q - secret mod q)`` — no
+    modular inverse.  Malformed ciphertexts (components outside the
+    subgroup) keep the literal invert-then-multiply evaluation.
+    """
+    if elgamal_ciphertext_valid(group, ciphertext):
+        return group.multi_exp(
+            ((ciphertext.b, 1), (ciphertext.a, (group.q - secret % group.q) % group.q))
+        )
     return group.mul(ciphertext.b, group.inv(group.exp(ciphertext.a, secret)))
 
 

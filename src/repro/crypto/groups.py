@@ -32,12 +32,31 @@ seeded executions are unaffected):
   form ``a · y^e`` route through it;
 * **cached element encodings** — :meth:`element_to_bytes` memoises the
   fixed-width encodings that Fiat–Shamir challenges hash over and over.
+
+Arithmetic tier
+---------------
+
+Underneath the caches sits a swappable :class:`ArithBackend` carrying the
+primitive big-integer operations (modular exponentiation, inversion,
+Jacobi symbols, and the native representation used inside multiplication
+loops).  Two backends ship: :class:`PythonArith` (plain ``int`` — always
+available, the compatibility reference) and :class:`Gmpy2Arith` (GMP via
+``gmpy2`` where installed).  Selection order: an explicit
+:func:`set_arith_backend` call (the CLI's ``--arith``) wins, then the
+``REPRO_ARITH`` environment variable (``auto``/``gmpy2``/``python``,
+read at import with warn-and-fallback), then auto-detection (gmpy2 if
+importable, else python).  Every public :class:`SchnorrGroup` method
+normalizes results to built-in ``int`` whatever the backend, so pickled
+groups, serialized material blobs and trace digests are byte-identical
+across backends.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import threading
+import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
@@ -54,8 +73,173 @@ FIXED_BASE_AUTO_CALLS = 32
 #: size :meth:`SchnorrGroup.multi_exp` just multiplies ``pow`` results.
 MULTI_EXP_MIN_BITS = 1024
 
+#: ... unless enough bases share the squaring ladder: from this many
+#: general bases up, Straus interleaving amortises the shared squarings
+#: even at test-size moduli (the batch-verification regime, where one
+#: combined equation carries dozens of bases with short coefficients).
+MULTI_EXP_MIN_BASES = 6
+
 #: Bound on the per-group encoding cache (entries).
 _ENCODING_CACHE_MAX = 4096
+
+
+# -- arithmetic backends ---------------------------------------------------
+
+
+def jacobi(a: int, n: int) -> int:
+    """Jacobi symbol (a/n) for odd ``n > 0`` (binary algorithm).
+
+    For prime ``n`` this is the Legendre symbol, so for a safe prime
+    ``p = 2q + 1`` membership in the order-``q`` subgroup (the quadratic
+    residues) is ``jacobi(a, p) == 1`` by Euler's criterion — a few
+    thousand word operations instead of a full-width exponentiation.
+    """
+    a %= n
+    result = 1
+    while a:
+        while a & 1 == 0:
+            a >>= 1
+            r = n & 7
+            if r == 3 or r == 5:
+                result = -result
+        a, n = n, a
+        if a & 3 == 3 and n & 3 == 3:
+            result = -result
+        a %= n
+    return result if n == 1 else 0
+
+
+class ArithBackend:
+    """Primitive big-integer operations behind :class:`SchnorrGroup`.
+
+    Implementations must be value-identical: same inputs, same integers
+    out.  ``powmod``/``invert`` return built-in ``int``; ``to_native``
+    wraps a value in the backend's fastest multiplication type for use
+    inside tight ``a * b % p`` loops (callers normalize with ``int()``
+    before anything crosses an API boundary).
+    """
+
+    name: str = "abstract"
+
+    def powmod(self, base: int, exponent: int, modulus: int) -> int:
+        raise NotImplementedError
+
+    def invert(self, a: int, modulus: int) -> int:
+        raise NotImplementedError
+
+    def jacobi(self, a: int, n: int) -> int:
+        raise NotImplementedError
+
+    def to_native(self, value: int):
+        raise NotImplementedError
+
+
+class PythonArith(ArithBackend):
+    """Pure-python reference backend (always available)."""
+
+    name = "python"
+
+    def powmod(self, base: int, exponent: int, modulus: int) -> int:
+        return pow(base, exponent, modulus)
+
+    def invert(self, a: int, modulus: int) -> int:
+        return pow(a, -1, modulus)
+
+    def jacobi(self, a: int, n: int) -> int:
+        return jacobi(a, n)
+
+    def to_native(self, value: int) -> int:
+        return value
+
+
+class Gmpy2Arith(ArithBackend):
+    """GMP-backed backend via ``gmpy2`` (when importable)."""
+
+    name = "gmpy2"
+
+    def __init__(self, module) -> None:
+        self._gmpy2 = module
+        self._mpz = module.mpz
+
+    def powmod(self, base: int, exponent: int, modulus: int) -> int:
+        return int(self._gmpy2.powmod(base, exponent, modulus))
+
+    def invert(self, a: int, modulus: int) -> int:
+        try:
+            return int(self._gmpy2.invert(a, modulus))
+        except ZeroDivisionError:
+            # Match CPython's pow(a, -1, m) error so callers catch one type.
+            raise ValueError("base is not invertible for the given modulus") from None
+
+    def jacobi(self, a: int, n: int) -> int:
+        return int(self._gmpy2.jacobi(a, n))
+
+    def to_native(self, value: int):
+        return self._mpz(value)
+
+
+def _detect_backends() -> Dict[str, ArithBackend]:
+    backends: Dict[str, ArithBackend] = {"python": PythonArith()}
+    try:
+        import gmpy2  # noqa: F401 — optional accelerator
+    except ImportError:
+        return backends
+    backends["gmpy2"] = Gmpy2Arith(gmpy2)
+    return backends
+
+
+_ARITH_BACKENDS: Dict[str, ArithBackend] = _detect_backends()
+_ARITH: ArithBackend = _ARITH_BACKENDS["python"]
+
+
+def available_arith_backends() -> Tuple[str, ...]:
+    """Names of the arithmetic backends importable in this process."""
+    return tuple(sorted(_ARITH_BACKENDS))
+
+
+def get_arith_backend() -> ArithBackend:
+    """The arithmetic backend currently in effect."""
+    return _ARITH
+
+
+def set_arith_backend(name: Optional[str]) -> ArithBackend:
+    """Select the arithmetic backend by name.
+
+    ``"auto"`` (or ``None``) picks gmpy2 when importable, else python.
+    Explicit names must be available — an unknown or uninstalled backend
+    raises :class:`ValueError` (the ``REPRO_ARITH`` environment variable
+    gets warn-and-fallback instead; see module init).  Values are
+    identical across backends, so switching mid-process is safe: only
+    speed changes, never results.
+    """
+    global _ARITH
+    if name is None or name == "auto":
+        _ARITH = _ARITH_BACKENDS.get("gmpy2", _ARITH_BACKENDS["python"])
+        return _ARITH
+    try:
+        _ARITH = _ARITH_BACKENDS[name]
+    except KeyError:
+        known = ", ".join(("auto",) + available_arith_backends())
+        raise ValueError(f"unknown arith backend {name!r} (known: {known})") from None
+    return _ARITH
+
+
+def _init_arith_from_env() -> None:
+    requested = os.environ.get("REPRO_ARITH", "auto").strip().lower() or "auto"
+    try:
+        set_arith_backend(requested)
+    except ValueError:
+        warnings.warn(
+            f"REPRO_ARITH={requested!r} is not available here "
+            f"(importable: {', '.join(available_arith_backends())}); "
+            "falling back to auto-detection",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        set_arith_backend("auto")
+
+
+_init_arith_from_env()
 
 
 @dataclass(frozen=True)
@@ -71,10 +255,14 @@ class SchnorrGroup:
     g: int
 
     def __post_init__(self) -> None:
-        if pow(self.g, self.q, self.p) != 1:
+        if _ARITH.powmod(self.g, self.q, self.p) != 1:
             raise ValueError("generator does not have order q")
         if self.g in (0, 1):
             raise ValueError("degenerate generator")
+        # Safe primes (p = 2q + 1) get the Jacobi-symbol membership fast
+        # path: the order-q subgroup is exactly the quadratic residues,
+        # so Euler's criterion replaces a full-width pow.
+        object.__setattr__(self, "_safe_prime", self.p == 2 * self.q + 1)
         # Acceleration state (not dataclass fields: excluded from eq/hash/repr).
         # A group instance is shared across SessionPool thread workers, so
         # lazy population of these caches is guarded by ``_accel_lock``;
@@ -104,7 +292,7 @@ class SchnorrGroup:
         """``base ** exponent mod p`` (exponent reduced mod q)."""
         if base == self.g:
             return self.power_of_g(exponent)
-        return pow(base, exponent % self.q, self.p)
+        return _ARITH.powmod(base, exponent % self.q, self.p)
 
     def power_of_g(self, exponent: int) -> int:
         """``g ** exponent mod p`` (fixed-base windowed once warmed up)."""
@@ -112,7 +300,7 @@ class SchnorrGroup:
         if self._fb_state is None:
             if self.p.bit_length() > FIXED_BASE_AUTO_BITS and self._fb_calls < FIXED_BASE_AUTO_CALLS:
                 object.__setattr__(self, "_fb_calls", self._fb_calls + 1)
-                return pow(self.g, e, self.p)
+                return _ARITH.powmod(self.g, e, self.p)
             self.precompute_fixed_base()
         return self._fixed_base_pow(e)
 
@@ -122,11 +310,20 @@ class SchnorrGroup:
 
     def inv(self, a: int) -> int:
         """Group inverse."""
-        return pow(a, -1, self.p)
+        return _ARITH.invert(a, self.p)
 
     def is_member(self, a: int) -> bool:
-        """Membership test for the order-q subgroup."""
-        return 0 < a < self.p and pow(a, self.q, self.p) == 1
+        """Membership test for the order-q subgroup.
+
+        Safe-prime groups use the Jacobi-symbol fast path (identical
+        verdicts to the Euler-criterion pow, orders of magnitude
+        cheaper); other parameter sets keep the direct order check.
+        """
+        if not 0 < a < self.p:
+            return False
+        if self._safe_prime:
+            return _ARITH.jacobi(a, self.p) == 1
+        return _ARITH.powmod(a, self.q, self.p) == 1
 
     def random_scalar(self, rng) -> int:
         """Uniform exponent in [1, q)."""
@@ -225,15 +422,19 @@ class SchnorrGroup:
             if state is not None and w == state[0]:
                 return
             windows = (self.q.bit_length() + w - 1) // w
-            p = self.p
+            arith = _ARITH
+            p = arith.to_native(self.p)
             table: List[List[int]] = []
-            base = self.g
+            base = arith.to_native(self.g)
             for _ in range(windows):
+                # Build in the backend's native type, store plain ints:
+                # table entries feed ``element_to_bytes``-style encoders
+                # and the RPM1 material serializer, which require ``int``.
                 row = [1] * (1 << w)
-                acc = 1
+                acc = arith.to_native(1)
                 for digit in range(1, 1 << w):
                     acc = acc * base % p
-                    row[digit] = acc
+                    row[digit] = int(acc)
                 table.append(row)
                 base = acc * base % p  # base ** (2 ** w)
             object.__setattr__(self, "_fb_state", (w, table))
@@ -283,8 +484,9 @@ class SchnorrGroup:
         """``g ** e`` via the window table (``e`` already reduced mod q)."""
         w, table = self._fb_state
         mask = (1 << w) - 1
-        p = self.p
-        result = 1
+        arith = _ARITH
+        p = arith.to_native(self.p)
+        result = arith.to_native(1)
         index = 0
         while e:
             digit = e & mask
@@ -292,7 +494,7 @@ class SchnorrGroup:
                 result = result * table[index][digit] % p
             e >>= w
             index += 1
-        return result
+        return int(result)
 
     # -- simultaneous multi-exponentiation ----------------------------------
 
@@ -308,43 +510,61 @@ class SchnorrGroup:
         """
         q = self.q
         p = self.p
-        result = 1
+        g = self.g
         g_exponent = 0
-        general: List[Tuple[int, int]] = []
+        merged: Dict[int, int] = {}
         for base, exponent in pairs:
             e = exponent % q
             if e == 0:
                 continue
             b = base % p
-            if b == self.g:
-                g_exponent += e
-            elif e == 1:
+            if b == g:
+                g_exponent = (g_exponent + e) % q
+            else:
+                prior = merged.get(b)
+                merged[b] = e if prior is None else (prior + e) % q
+        result = 1
+        general: List[Tuple[int, int]] = []
+        for b, e in merged.items():
+            if e == 0:
+                continue
+            if e == 1:
                 result = result * b % p
             else:
                 general.append((b, e))
         if g_exponent:
             result = result * self.power_of_g(g_exponent) % p
-        if len(general) >= 2 and p.bit_length() >= MULTI_EXP_MIN_BITS:
+        if len(general) >= 2 and (
+            p.bit_length() >= MULTI_EXP_MIN_BITS or len(general) >= MULTI_EXP_MIN_BASES
+        ):
             result = result * self._interleaved_multi_exp(general) % p
         else:
+            arith = _ARITH
             for b, e in general:
-                result = result * pow(b, e, p) % p
-        return result
+                result = result * arith.powmod(b, e, p) % p
+        return int(result)
 
-    def _interleaved_multi_exp(self, pairs: List[Tuple[int, int]], window: int = 5) -> int:
+    def _interleaved_multi_exp(self, pairs: List[Tuple[int, int]], window: Optional[int] = None) -> int:
         """Straus: one shared squaring ladder, per-base digit tables."""
-        p = self.p
+        arith = _ARITH
+        p = arith.to_native(self.p)
+        max_bits = max(e.bit_length() for _, e in pairs)
+        if window is None:
+            # Short exponents (batch-verification coefficients are 64-bit)
+            # don't amortise a wide table; full-width ones do.
+            window = 5 if max_bits > 128 else 3
         mask = (1 << window) - 1
         tables: List[List[int]] = []
         for base, _ in pairs:
-            row = [1] * (1 << window)
-            acc = 1
+            row: List[int] = [1] * (1 << window)
+            acc = arith.to_native(1)
+            b = arith.to_native(base)
             for digit in range(1, 1 << window):
-                acc = acc * base % p
+                acc = acc * b % p
                 row[digit] = acc
             tables.append(row)
-        positions = (max(e.bit_length() for _, e in pairs) + window - 1) // window
-        result = 1
+        positions = (max_bits + window - 1) // window
+        result = arith.to_native(1)
         for index in range(positions - 1, -1, -1):
             if result != 1:
                 for _ in range(window):
@@ -354,7 +574,7 @@ class SchnorrGroup:
                 digit = (e >> shift) & mask
                 if digit:
                     result = result * row[digit] % p
-        return result
+        return int(result)
 
     # -- small discrete logs -------------------------------------------------
 

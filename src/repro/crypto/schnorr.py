@@ -9,7 +9,9 @@ world (Dolev–Strong over real signatures instead of the ideal ``Fcert``).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
+from repro.crypto.batch import BatchItem, Equation
 from repro.crypto.groups import SchnorrGroup, TEST_GROUP
 from repro.crypto.hashing import hash_to_int
 from repro.crypto.randomness import current_source
@@ -72,3 +74,25 @@ def schnorr_verify(
     lhs = group.power_of_g(signature.s)
     rhs = group.multi_exp(((signature.r, 1), (public, e)))
     return lhs == rhs
+
+
+def schnorr_batch_item(
+    group: SchnorrGroup, public: int, message: bytes, signature: SchnorrSignature
+) -> BatchItem:
+    """A :class:`~repro.crypto.batch.BatchItem` for one signature check.
+
+    Equation: ``g^s == r · y^e`` with ``e`` bound here (the Fiat–Shamir
+    hash is cheap; the exponentiations are what the batch amortises).
+    Out-of-range elements skip equation construction entirely and resolve
+    through :func:`schnorr_verify`, which rejects them via the membership
+    checks — verdict parity is exact.
+    """
+    check = partial(schnorr_verify, group, public, message, signature)
+    if not (0 < public < group.p and 0 < signature.r < group.p):
+        return BatchItem(bases=(), equations=(), check=check)
+    e = _challenge(group, signature.r, public, message)
+    equation = Equation(
+        lhs=((group.g, signature.s),),
+        rhs=((signature.r, 1), (public, e)),
+    )
+    return BatchItem(bases=(public, signature.r), equations=(equation,), check=check)

@@ -17,8 +17,10 @@ correct secret exponent was used".  We provide:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import List, Sequence, Tuple
 
+from repro.crypto.batch import BatchItem, Equation
 from repro.crypto.groups import SchnorrGroup
 from repro.crypto.hashing import hash_to_int
 from repro.crypto.randomness import current_source
@@ -76,6 +78,27 @@ def pok_verify(group: SchnorrGroup, base: int, public: int, proof: SchnorrProof)
     return group.exp(base, proof.s) == group.multi_exp(((proof.a, 1), (public, e)))
 
 
+def pok_batch_item(
+    group: SchnorrGroup, base: int, public: int, proof: SchnorrProof
+) -> BatchItem:
+    """A batch item for one PoK check: ``base^s == a · public^e``.
+
+    :func:`pok_verify` only membership-checks the commitment, but RLC
+    soundness needs *every* base in the order-q subgroup, so ``base`` and
+    ``public`` join the screen too; any screen failure falls back to the
+    exact verifier, preserving its (laxer) verdict.
+    """
+    check = partial(pok_verify, group, base, public, proof)
+    if not all(0 < element < group.p for element in (base, public, proof.a)):
+        return BatchItem(bases=(), equations=(), check=check)
+    e = _fs_challenge(group, base, public, proof.a, domain=b"pok")
+    equation = Equation(
+        lhs=((base, proof.s),),
+        rhs=((proof.a, 1), (public, e)),
+    )
+    return BatchItem(bases=(base, public, proof.a), equations=(equation,), check=check)
+
+
 # ---------------------------------------------------------------------------
 # Chaum–Pedersen equality of discrete logs
 # ---------------------------------------------------------------------------
@@ -124,6 +147,34 @@ def cp_verify(
     ok1 = group.exp(base1, proof.s) == group.multi_exp(((proof.a1, 1), (public1, e)))
     ok2 = group.exp(base2, proof.s) == group.multi_exp(((proof.a2, 1), (public2, e)))
     return ok1 and ok2
+
+
+def cp_batch_item(
+    group: SchnorrGroup,
+    base1: int,
+    public1: int,
+    base2: int,
+    public2: int,
+    proof: CPProof,
+) -> BatchItem:
+    """A batch item for one Chaum–Pedersen check (two equations).
+
+    Each equation draws its own RLC coefficient in :func:`verify_batch`;
+    a shared per-item coefficient would let errors in the two equations
+    cancel.
+    """
+    check = partial(cp_verify, group, base1, public1, base2, public2, proof)
+    elements = (base1, public1, base2, public2, proof.a1, proof.a2)
+    if not all(0 < element < group.p for element in elements):
+        return BatchItem(bases=(), equations=(), check=check)
+    e = _fs_challenge(
+        group, base1, public1, base2, public2, proof.a1, proof.a2, domain=b"cp"
+    )
+    equations = (
+        Equation(lhs=((base1, proof.s),), rhs=((proof.a1, 1), (public1, e))),
+        Equation(lhs=((base2, proof.s),), rhs=((proof.a2, 1), (public2, e))),
+    )
+    return BatchItem(bases=elements, equations=equations, check=check)
 
 
 # ---------------------------------------------------------------------------
@@ -242,3 +293,48 @@ def ballot_verify(
         if group.exp(seed, s) != group.multi_exp(((a2, 1), (public2, e))):
             return False
     return True
+
+
+def ballot_batch_item(
+    group: SchnorrGroup,
+    seed: int,
+    w: int,
+    ballot: int,
+    proof: BallotProof,
+    choices: Sequence[int],
+    key_base: int = 0,
+) -> BatchItem:
+    """A batch item for one disjunctive ballot proof.
+
+    The cheap structural checks (branch count, challenge sum, Fiat–Shamir
+    binding) happen here; only the 2-per-branch exponentiation equations
+    enter the batch.  Any structural failure, out-of-range element, or
+    membership-screen miss resolves through :func:`ballot_verify` for an
+    exact verdict (the per-item verifier does no membership checks of its
+    own, so the screen must never overrule it directly).
+    """
+    check = partial(ballot_verify, group, seed, w, ballot, proof, choices, key_base)
+    key_base = key_base or group.g
+    choice_list = list(choices)
+    elements = (key_base, seed, w, ballot) + tuple(
+        element for a1, a2, _, _ in proof.branches for element in (a1, a2)
+    )
+    if len(proof.branches) != len(choice_list) or not all(
+        0 < element < group.p for element in elements
+    ):
+        return BatchItem(bases=(), equations=(), check=check)
+    flat: List[int] = [seed, w, ballot]
+    for a1, a2, _, _ in proof.branches:
+        flat.extend((a1, a2))
+    global_challenge = _fs_challenge(group, *flat, domain=b"ballot-or")
+    if sum(e for _, _, e, _ in proof.branches) % group.q != global_challenge:
+        return BatchItem(bases=(), equations=(), check=check)
+    equations: List[Equation] = []
+    for (a1, a2, e, s), choice in zip(proof.branches, choice_list):
+        public1, public2 = _ballot_statement(group, seed, w, ballot, choice)
+        equations.append(Equation(lhs=((key_base, s),), rhs=((a1, 1), (public1, e))))
+        equations.append(Equation(lhs=((seed, s),), rhs=((a2, 1), (public2, e))))
+    # Membership of the derived statements follows from the screened
+    # inputs (the subgroup is closed under mul/inv), so ``elements``
+    # covers every base the equations touch.
+    return BatchItem(bases=elements, equations=tuple(equations), check=check)

@@ -17,6 +17,7 @@ from repro.uc.entity import Functionality
 from repro.uc.errors import CorruptionError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.crypto.batch import BatchItem
     from repro.uc.session import Session
 
 
@@ -60,6 +61,29 @@ class SignerCert(Functionality):
         if len(signature) != 128:
             return False
         return self.authority.verify(self.signer, message, self._decode(signature))
+
+    def batch_verify_item(self, message: bytes, signature: bytes) -> "BatchItem":
+        """This certificate check as a :class:`~repro.crypto.batch.BatchItem`.
+
+        Lets a round collect many certificate checks (possibly mixed with
+        ballot-proof items) into one
+        :func:`~repro.crypto.batch.verify_batch` call.  Counts the same
+        ``verify`` metric as :meth:`verify` so batched rounds report
+        identical signature counters, and yields the same verdict:
+        malformed encodings resolve to an immediate False, everything
+        else carries the Schnorr equation against the signer's key.
+        """
+        from repro.crypto.batch import BatchItem
+        from repro.crypto.schnorr import SchnorrSignature, schnorr_batch_item
+
+        self.session.metrics.count_signature("verify")
+        if len(signature) != 128:
+            return BatchItem(bases=(), equations=(), check=lambda: False)
+        r, s = self._decode(signature)
+        keypair = self.authority.ensure_key(self.signer)
+        return schnorr_batch_item(
+            keypair.group, keypair.public, message, SchnorrSignature(r=r, s=s)
+        )
 
 
 def real_cert_suite(

@@ -13,10 +13,18 @@ world of Corollary 1.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from repro.crypto.batch import (
+    BatchItem,
+    BatchPolicy,
+    BatchReport,
+    current_policy,
+    verify_batch,
+)
 from repro.crypto.schnorr import (
     SchnorrKeyPair,
+    schnorr_batch_item,
     schnorr_keygen,
     schnorr_sign,
     schnorr_verify,
@@ -26,6 +34,10 @@ from repro.uc.errors import CorruptionError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.uc.session import Session
+
+#: Shared "definitely invalid" item: no equations, exact verdict False
+#: (entries that fail structural checks before any crypto runs).
+_REJECT_ITEM = BatchItem(bases=(), equations=(), check=lambda: False)
 
 
 class Certification(Functionality):
@@ -129,3 +141,40 @@ class RealCertification(Functionality):
             message,
             SchnorrSignature(r=signature[0], s=signature[1]),
         )
+
+    def verify_batch(
+        self,
+        entries: Sequence[Tuple[str, bytes, Tuple[int, int]]],
+        policy: Optional[BatchPolicy] = None,
+    ) -> BatchReport:
+        """Batch-verify ``(pid, message, (r, s))`` entries via one RLC check.
+
+        Verdicts match :meth:`verify` entry for entry (unknown pids
+        resolve to False without joining the combination); signature
+        metrics count one verify per entry either way, so batched and
+        per-item runs report identical counters.  ``policy`` defaults to
+        the ambient :func:`~repro.crypto.batch.current_policy` (or the
+        stock parameters when none is installed).
+        """
+        from repro.crypto.schnorr import SchnorrSignature
+
+        items: List = []
+        for pid, message, signature in entries:
+            self.session.metrics.count_signature("verify")
+            keypair = self._keys.get(pid)
+            if keypair is None:
+                items.append(_REJECT_ITEM)
+                continue
+            items.append(
+                schnorr_batch_item(
+                    keypair.group,
+                    keypair.public,
+                    message,
+                    SchnorrSignature(r=signature[0], s=signature[1]),
+                )
+            )
+        policy = policy or current_policy() or BatchPolicy()
+        group = next(iter(self._keys.values())).group if self._keys else None
+        if group is None:
+            from repro.crypto.groups import TEST_GROUP as group  # no keys yet
+        return verify_batch(group, items, seed=policy.seed, min_items=policy.min_items)

@@ -29,11 +29,13 @@ tally.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.crypto.batch import BATCH_EVENT_KIND, BatchItem, BatchPolicy, current_policy
 from repro.crypto.groups import SchnorrGroup
 from repro.crypto.hashing import expand, hash_to_int, xor_bytes
-from repro.crypto.zkp import BallotProof, ballot_prove, ballot_verify
+from repro.crypto.zkp import BallotProof, ballot_batch_item, ballot_prove, ballot_verify
 from repro.functionalities.certification import Certification
 from repro.functionalities.keygen import AuthorityKeyGen, VoterKeyGen
 from repro.functionalities.random_oracle import RandomOracle
@@ -305,8 +307,35 @@ class VoterParty(Party):
             self.tally_failure = "setup incomplete"
             self.output(("Result", None, self.tally_failure))
             return
-        group = self.group
         seed = self._seed()
+        policy = current_policy()
+        if policy is not None:
+            ballots = self._tally_ballots_batched(batch, seed, policy)
+        else:
+            ballots = self._tally_ballots(batch, seed)
+        group = self.group
+        missing = [v for v in self.election.voters if v not in ballots]
+        if missing:
+            # Σ x_i = 0 holds only over the full voter set; a partial
+            # product is indistinguishable from random.
+            self.tally_failure = f"missing ballots: {missing}"
+            self.output(("Result", None, self.tally_failure))
+            return
+        product = 1
+        for ballot in ballots.values():
+            product = group.mul(product, ballot)
+        try:
+            total = group.discrete_log_small(product, bound=self.election.tally_bound)
+        except ValueError:
+            self.tally_failure = "tally outside bound (inconsistent ballots)"
+            self.output(("Result", None, self.tally_failure))
+            return
+        self.result = self.election.decode_tally(total)
+        self.output(("Result", self.result, None))
+
+    def _tally_ballots(self, batch: Sequence[Any], seed: int) -> Dict[str, int]:
+        """Per-item ballot screening: the sequential reference path."""
+        group = self.group
         ballots: Dict[str, int] = {}
         for item in batch:
             if not (isinstance(item, tuple) and len(item) == 5 and item[0] == "Ballot"):
@@ -329,21 +358,63 @@ class VoterParty(Party):
             ):
                 continue
             ballots[voter] = ballot
-        missing = [v for v in self.election.voters if v not in ballots]
-        if missing:
-            # Σ x_i = 0 holds only over the full voter set; a partial
-            # product is indistinguishable from random.
-            self.tally_failure = f"missing ballots: {missing}"
-            self.output(("Result", None, self.tally_failure))
-            return
-        product = 1
-        for ballot in ballots.values():
-            product = group.mul(product, ballot)
-        try:
-            total = group.discrete_log_small(product, bound=self.election.tally_bound)
-        except ValueError:
-            self.tally_failure = "tally outside bound (inconsistent ballots)"
-            self.output(("Result", None, self.tally_failure))
-            return
-        self.result = self.election.decode_tally(total)
-        self.output(("Result", self.result, None))
+        return ballots
+
+    def _tally_ballots_batched(
+        self, batch: Sequence[Any], seed: int, policy: BatchPolicy
+    ) -> Dict[str, int]:
+        """Ballot screening via one random-linear-combination batch.
+
+        Each entry contributes two items — the certificate check and the
+        disjunctive ballot proof — to a single
+        :func:`~repro.crypto.batch.verify_batch` call; certificates whose
+        backend cannot express an equation (the ideal ``Fcert`` registry)
+        join as exact-check fallbacks.  Accepting the first *verified*
+        occurrence per voter reproduces the per-item loop's
+        dedup-by-acceptance outcome exactly, duplicates and forgeries
+        included.  When ``policy.record_trace`` is set the round records
+        one :data:`~repro.crypto.batch.BATCH_EVENT_KIND` event, pinning
+        batched runs in the trace digest like online-spend runs.
+        """
+        group = self.group
+        entries: List[Tuple[str, int]] = []
+        items: List[BatchItem] = []
+        for item in batch:
+            if not (isinstance(item, tuple) and len(item) == 5 and item[0] == "Ballot"):
+                continue
+            _, voter, ballot, proof, signature = item
+            if voter not in self.election.voters:
+                continue
+            cert = self.certs[voter]
+            message = encode((ballot, proof, voter))
+            if hasattr(cert, "batch_verify_item"):
+                cert_item = cert.batch_verify_item(message, signature)
+            else:
+                cert_item = BatchItem(
+                    bases=(), equations=(), check=partial(cert.verify, message, signature)
+                )
+            if isinstance(proof, BallotProof):
+                proof_item = ballot_batch_item(
+                    group,
+                    seed,
+                    self.verification_keys[voter],
+                    ballot,
+                    proof,
+                    self.election.choices,
+                    key_base=self.w,
+                )
+            else:
+                proof_item = BatchItem(bases=(), equations=(), check=lambda: False)
+            entries.append((voter, ballot))
+            items.append(cert_item)
+            items.append(proof_item)
+        report = policy.run(group, items)
+        if policy.record_trace:
+            self.record(BATCH_EVENT_KIND, report.trace_detail())
+        ballots: Dict[str, int] = {}
+        for index, (voter, ballot) in enumerate(entries):
+            if voter in ballots:
+                continue
+            if report.verdicts[2 * index] and report.verdicts[2 * index + 1]:
+                ballots[voter] = ballot
+        return ballots

@@ -66,7 +66,7 @@ class ExecutionBackend:
             raise ValueError(f"trace must be one of {list(TRACE_MODES)}, got {trace!r}")
         return replace(self, trace=trace)
 
-    def warm_up(self, material=None) -> "ExecutionBackend":
+    def warm_up(self, material=None, arith=None) -> "ExecutionBackend":
         """Pre-build the process-wide caches sessions under this backend use.
 
         Called once per worker by the pool initializer (and usable inline
@@ -87,9 +87,31 @@ class ExecutionBackend:
                 (:func:`~repro.runtime.material.attached_material`), so
                 online-mode cursors can spend them without re-reading
                 the blob per trial.
+            arith: Optional arithmetic-backend name to select first
+                (``"gmpy2"``/``"python"``/``"auto"``) — the pool
+                initializer forwards the parent's selection so worker
+                processes run the same tier.  Arithmetic backends are
+                value-identical, so an unavailable name degrades to
+                auto-detection with a warning rather than failing the
+                worker.
         """
         from repro.runtime.material import warm_with_material
 
+        if arith is not None:
+            import warnings
+
+            from repro.crypto.groups import set_arith_backend
+
+            try:
+                set_arith_backend(arith)
+            except ValueError as exc:
+                warnings.warn(
+                    f"worker cannot select arith backend {arith!r} ({exc}); "
+                    "falling back to auto-detection",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                set_arith_backend("auto")
         warm_with_material(material)
         return self
 

@@ -227,6 +227,7 @@ def run_sbc_trial(
     backend: Union[str, ExecutionBackend] = "pooled",
     trace: Optional[str] = None,
     online: Optional[Any] = None,
+    batch: Optional[Any] = None,
 ) -> TrialResult:
     """Run one full SBC session end to end and summarise it.
 
@@ -234,14 +235,17 @@ def run_sbc_trial(
     to ``concurrent.futures`` process workers.  With ``online`` (an
     :class:`~repro.runtime.material.OnlinePlan`) the trial spends its
     reserved slice of the preprocessed randomness pools and records the
-    consumed cursor ranges in the trace.
+    consumed cursor ranges in the trace.  With ``batch`` (a
+    :class:`~repro.crypto.batch.BatchPolicy`) verification-heavy rounds
+    batch their checks through one random-linear-combination multi-exp.
     """
     from repro.core.stacks import build_sbc_stack
+    from repro.crypto.batch import batching
     from repro.crypto.randomness import spending
 
     cursor = online.open(seed) if online is not None else None
     start = time.perf_counter()
-    with spending(cursor):
+    with spending(cursor), batching(batch):
         stack = build_sbc_stack(
             n=n, mode=mode, seed=seed, phi=phi, delta=delta, backend=backend,
             trace=trace,
@@ -277,6 +281,7 @@ def run_voting_trial(
     backend: Union[str, ExecutionBackend] = "pooled",
     trace: Optional[str] = None,
     online: Optional[Any] = None,
+    batch: Optional[Any] = None,
 ) -> TrialResult:
     """Run one self-tallying election end to end and summarise it.
 
@@ -285,15 +290,19 @@ def run_voting_trial(
     trial burns real nonces — sampled per call by default, spent from
     the trial's reserved pool slice under an
     :class:`~repro.runtime.material.OnlinePlan`.  Module-level (hence
-    picklable) for process fan-out, like :func:`run_sbc_trial`.
+    picklable) for process fan-out, like :func:`run_sbc_trial`.  With
+    ``batch`` (a :class:`~repro.crypto.batch.BatchPolicy`) the tally
+    round verifies certificates and ballot proofs through one
+    random-linear-combination batch per voter.
     """
     from repro.core.stacks import build_voting_stack
+    from repro.crypto.batch import batching
     from repro.crypto.randomness import spending
 
     candidates = tuple(candidates)
     cursor = online.open(seed) if online is not None else None
     start = time.perf_counter()
-    with spending(cursor):
+    with spending(cursor), batching(batch):
         stack = build_voting_stack(
             voters=voters, mode=mode, seed=seed, candidates=candidates,
             backend=backend, trace=trace,
@@ -418,7 +427,9 @@ def auto_chunksize(tasks: int, workers: int) -> int:
 
 
 def _warm_worker(
-    backend: Union[str, ExecutionBackend, None] = None, material: Any = None
+    backend: Union[str, ExecutionBackend, None] = None,
+    material: Any = None,
+    arith: Optional[str] = None,
 ) -> None:
     """Process-pool initializer: pre-build shared per-process caches.
 
@@ -429,10 +440,13 @@ def _warm_worker(
     inside its first session.  With a published
     :class:`~repro.runtime.material.MaterialHandle` the tables are
     *attached* (shared memory or mmap) instead of recomputed, which takes
-    cold-start warm-up off the sweep's critical path.  Module-level
-    (hence picklable) by construction.
+    cold-start warm-up off the sweep's critical path.  ``arith`` carries
+    the parent's arithmetic-backend selection into the worker (values are
+    identical across backends, so a worker that cannot honour it warns
+    and falls back rather than failing the sweep).  Module-level (hence
+    picklable) by construction.
     """
-    get_backend(backend).warm_up(material)
+    get_backend(backend).warm_up(material, arith=arith)
 
 
 # -- adaptive chunking -------------------------------------------------------
@@ -548,6 +562,16 @@ class SessionPool:
             Pool-consuming digests are pinned separately from
             sample-per-call digests — see
             :func:`record_online_spend`.
+        batch_verify: Batch verification-heavy rounds through one
+            random-linear-combination multi-exp per round.  ``True``
+            uses the stock :class:`~repro.crypto.batch.BatchPolicy`; an
+            explicit policy pins seed/threshold/trace behaviour.
+            Forwarded to the runner as ``batch=``; protocol outputs are
+            identical to per-item verification, and with the policy's
+            ``record_trace`` each batched round is digest-pinned via a
+            ``verify.batch`` trace event.  Not supported on the thread
+            executor (interleaved trials would race on the ambient
+            policy).
         trace: Optional trace-mode override forwarded to the runner
             (``"light"`` turns the EventLog off for throughput runs).
     """
@@ -565,9 +589,11 @@ class SessionPool:
         material_groups: Optional[Sequence[Any]] = None,
         adaptive: bool = False,
         online: Any = False,
+        batch_verify: Any = False,
         trace: Optional[str] = None,
         **runner_kwargs: Any,
     ) -> None:
+        from repro.crypto.batch import BatchPolicy
         from repro.runtime.material import MATERIAL_COMPUTE, resolve_material_source
 
         if executor not in ("inline", "thread", "process"):
@@ -591,6 +617,17 @@ class SessionPool:
         )
         self.adaptive = bool(adaptive)
         self.online = online
+        if batch_verify is True:
+            self.batch_policy: Optional[BatchPolicy] = BatchPolicy()
+        elif batch_verify:
+            self.batch_policy = batch_verify
+        else:
+            self.batch_policy = None
+        if self.batch_policy is not None and executor == "thread":
+            raise ValueError(
+                "batch_verify is not supported on the thread executor "
+                "(interleaved trials would race on the ambient policy)"
+            )
         self.trace = trace
         self.runner_kwargs = dict(runner_kwargs)
         if self.online:
@@ -684,7 +721,9 @@ class SessionPool:
         observed to deadlock on recycle in 3.11.7) it restarts workers
         reliably.  The plain sweep path uses ``ProcessPoolExecutor``.
         """
-        initargs = (self.backend, material_handle)
+        from repro.crypto.groups import get_arith_backend
+
+        initargs = (self.backend, material_handle, get_arith_backend().name)
         if self.max_tasks_per_child is not None:
             import multiprocessing
 
@@ -784,6 +823,8 @@ class SessionPool:
         online_plan = self._online_plan(seeds)
         if online_plan is not None:
             kwargs["online"] = online_plan
+        if self.batch_policy is not None:
+            kwargs["batch"] = self.batch_policy
         used_workers: Optional[int] = None
         used_chunksize: Optional[int] = None
         adaptivity: Optional[List[Dict[str, Any]]] = None

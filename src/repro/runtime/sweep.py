@@ -54,6 +54,10 @@ class SweepPlan:
     #: Whether trials spend the preprocessed randomness pools (online
     #: protocol mode; digests pinned separately from compute runs).
     online: bool = False
+    #: Whether trials batch verification rounds through random-linear-
+    #: combination multi-exps (digest-pinned via ``verify.batch`` events
+    #: when the policy records them).
+    batch_verify: bool = False
 
     @property
     def chunks(self) -> int:
@@ -79,6 +83,7 @@ class SweepPlan:
             "material_source": self.material_source,
             "adaptive": self.adaptive,
             "online": self.online,
+            "batch_verify": self.batch_verify,
         }
         if adaptivity is not None:
             record["adaptivity"] = adaptivity
@@ -127,6 +132,11 @@ class ParallelSweep:
             pool-bearing ``material`` source.  ``verify()`` replays the
             same plan inline from the disk store, so pool-consuming
             sweeps stay seed-for-seed digest-checkable.
+        batch_verify: Batch verification rounds inside trials via
+            random-linear-combination multi-exps (``True`` for the stock
+            :class:`~repro.crypto.batch.BatchPolicy`, or an explicit
+            policy).  ``verify()`` replays the same policy inline, so
+            batched sweeps stay seed-for-seed digest-checkable.
         trace: Trace-mode override forwarded to the runner.
         runner_kwargs: Extra keyword arguments forwarded to the runner
             (e.g. ``specs=`` for the scenario-cell runner).
@@ -145,12 +155,13 @@ class ParallelSweep:
         material_groups: Optional[Any] = None,
         adaptive: bool = False,
         online: Any = False,
+        batch_verify: Any = False,
         trace: Optional[str] = None,
         **runner_kwargs: Any,
     ) -> None:
         # SessionPool validates executor/chunksize/max_tasks_per_child/
-        # material/online up front, so a bad sweep fails at construction,
-        # not mid-fan-out.
+        # material/online/batch_verify up front, so a bad sweep fails at
+        # construction, not mid-fan-out.
         self._pool = SessionPool(
             runner=runner,
             backend=backend,
@@ -163,6 +174,7 @@ class ParallelSweep:
             material_groups=material_groups,
             adaptive=adaptive,
             online=online,
+            batch_verify=batch_verify,
             trace=trace,
             **runner_kwargs,
         )
@@ -197,6 +209,7 @@ class ParallelSweep:
             material_source=self._pool.material,
             adaptive=self._pool.adaptive and executor == "process",
             online=bool(self._pool.online),
+            batch_verify=self._pool.batch_policy is not None,
         )
 
     def run(self, tasks: Iterable[Any]) -> PoolReport:
@@ -217,11 +230,13 @@ class ParallelSweep:
         :class:`~repro.runtime.material.OnlinePlan` — which is how
         pool-consuming process runs stay seed-for-seed verifiable.
         """
+        batch_verify = self._pool.batch_policy or False
         if not self._pool.online:
             return SessionPool(
                 runner=self._pool.runner,
                 backend=self._pool.backend,
                 executor="inline",
+                batch_verify=batch_verify,
                 trace=self._pool.trace,
                 **self._pool.runner_kwargs,
             )
@@ -236,6 +251,7 @@ class ParallelSweep:
             online=self._pool.online
             if not isinstance(self._pool.online, bool)
             else self._pool._online_plan(list(tasks or ())),
+            batch_verify=batch_verify,
             trace=self._pool.trace,
             **self._pool.runner_kwargs,
         )

@@ -402,17 +402,25 @@ _WORLDS: Dict[str, Callable[[ScenarioSpec, Adversary], _World]] = {
 # ---------------------------------------------------------------------------
 
 
-def run_scenario(spec: ScenarioSpec, cursor: Optional[Any] = None) -> ScenarioOutcome:
+def run_scenario(
+    spec: ScenarioSpec,
+    cursor: Optional[Any] = None,
+    batch: Optional[Any] = None,
+) -> ScenarioOutcome:
     """Build and drive one cell; returns the live outcome (session attached).
 
     With ``cursor`` (a :class:`~repro.runtime.material.MaterialCursor`)
     the cell spends its reserved slice of the preprocessed randomness
     pools and records the consumption in its trace — the online mode's
-    digest-pinning rule, applied to scenario cells.
+    digest-pinning rule, applied to scenario cells.  With ``batch`` (a
+    :class:`~repro.crypto.batch.BatchPolicy`) verification-heavy rounds
+    inside the cell batch their checks, pinned the same way via
+    ``verify.batch`` events.
 
     Raises:
         KeyError: unknown stack or adversary strategy.
     """
+    from repro.crypto.batch import batching
     from repro.crypto.randomness import spending
     from repro.runtime.pool import record_online_spend
 
@@ -423,7 +431,7 @@ def run_scenario(spec: ScenarioSpec, cursor: Optional[Any] = None) -> ScenarioOu
         raise KeyError(f"unknown stack {spec.stack!r} (known: {known})") from None
     adversary = make_adversary(spec)
     start = time.perf_counter()
-    with spending(cursor):
+    with spending(cursor), batching(batch):
         world = world_cls(spec, adversary)
         world.drive()
     elapsed = time.perf_counter() - start
@@ -447,10 +455,12 @@ def run_scenario(spec: ScenarioSpec, cursor: Optional[Any] = None) -> ScenarioOu
 
 
 def evaluate_scenario(
-    spec: ScenarioSpec, cursor: Optional[Any] = None
+    spec: ScenarioSpec,
+    cursor: Optional[Any] = None,
+    batch: Optional[Any] = None,
 ) -> CellResult:
     """Run one cell and judge its expected properties."""
-    outcome = run_scenario(spec, cursor=cursor)
+    outcome = run_scenario(spec, cursor=cursor, batch=batch)
     results = evaluate(outcome, spec.expectations())
     return CellResult(
         cell_id=spec.cell_id,
@@ -473,6 +483,7 @@ def run_scenario_trial(
     backend: Any = None,
     trace: Optional[str] = None,
     online: Optional[Any] = None,
+    batch: Optional[Any] = None,
 ) -> TrialResult:
     """SessionPool trial runner: one matrix cell per "seed" (the index).
 
@@ -480,10 +491,12 @@ def run_scenario_trial(
     forwards its own defaults to every runner, but each cell pins its
     backend as a matrix axis, so the pool-level values are ignored.
     ``online`` (an :class:`~repro.runtime.material.OnlinePlan`) gives
-    the cell a cursor over its reserved pool slice.
+    the cell a cursor over its reserved pool slice; ``batch`` (a
+    :class:`~repro.crypto.batch.BatchPolicy`) batches the cell's
+    verification rounds.
     """
     cursor = online.open(index) if online is not None else None
-    cell = evaluate_scenario(specs[index], cursor=cursor)
+    cell = evaluate_scenario(specs[index], cursor=cursor, batch=batch)
     return TrialResult(
         seed=index,
         wall_time_s=cell.wall_time_s,
@@ -578,6 +591,7 @@ def run_matrix(
     material: Optional[str] = None,
     adaptive: bool = False,
     online: bool = False,
+    batch_verify: Any = False,
 ) -> MatrixReport:
     """Execute every cell through a :class:`ParallelSweep`.
 
@@ -590,7 +604,9 @@ def run_matrix(
     fixed chunks either starve on or drown in IPC.  ``online`` spends
     the preprocessed randomness pools inside cells, with backend-variant
     replays of one execution sharing a pool slot (see
-    :func:`online_slots_for`).
+    :func:`online_slots_for`).  ``batch_verify`` batches each cell's
+    verification rounds (``True`` or an explicit
+    :class:`~repro.crypto.batch.BatchPolicy`).
     """
     specs = tuple(specs)
     online_plan: Any = False
@@ -610,6 +626,7 @@ def run_matrix(
         material=material,
         adaptive=adaptive,
         online=online_plan,
+        batch_verify=batch_verify,
         specs=specs,
     )
     report = sweep.run(range(len(specs)))

@@ -16,6 +16,12 @@ from repro.core import (
     build_tle_stack,
     build_voting_stack,
 )
+from repro.crypto.batch import BatchPolicy, batching
+from repro.crypto.groups import (
+    available_arith_backends,
+    get_arith_backend,
+    set_arith_backend,
+)
 from repro.runtime import (
     TraceDigestUnavailable,
     available_backends,
@@ -121,3 +127,40 @@ def test_every_registered_backend_is_covered():
     assert BACKENDS == ["batched", "pooled", "sequential"], (
         "a backend was registered without extending the differential tests"
     )
+
+
+# ---------------------------------------------------------------------------
+# Orthogonal seams: arithmetic tier and batch verification must be
+# digest-invariant against the same golden references.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("arith", available_arith_backends())
+@pytest.mark.parametrize("name", sorted(DRIVERS))
+def test_arith_backends_reproduce_golden_digests(name, arith, golden):
+    """Every arithmetic tier must be byte-invisible in traces and outputs."""
+    reference_digest, reference_outputs = golden[name]
+    before = get_arith_backend().name
+    set_arith_backend(arith)
+    try:
+        session, outputs = DRIVERS[name]("sequential")
+    finally:
+        set_arith_backend(before)
+    assert compare_trace_digests(trace_digest(session.log), reference_digest)
+    assert outputs == reference_outputs
+
+
+@pytest.mark.parametrize("name", sorted(DRIVERS))
+def test_batched_verification_reproduces_golden_digests(name, golden):
+    """A silent batching policy (record_trace=False) is digest-neutral.
+
+    Verification routes through one RLC multi-exp per round instead of
+    per-item checks, yet the trace and outputs stay byte-identical to the
+    per-item golden run — the correctness contract that lets ``verify()``
+    cross-check batched sweeps against inline references.
+    """
+    reference_digest, reference_outputs = golden[name]
+    with batching(BatchPolicy(record_trace=False)):
+        session, outputs = DRIVERS[name]("sequential")
+    assert compare_trace_digests(trace_digest(session.log), reference_digest)
+    assert outputs == reference_outputs
