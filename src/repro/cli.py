@@ -12,6 +12,8 @@ Usage::
     python -m repro.cli material  build --for-sweep 64
     python -m repro.cli sweep     --sessions 64 --material shared --adaptive
     python -m repro.cli sweep     --sessions 64 --workload voting --material shared --online --verify
+    python -m repro.cli sweep     --sessions 64 --material disk --online --consume-forward --replenish
+    python -m repro.cli material  replenish --nonces 256 --feldman 32
 
 Every protocol command accepts ``--backend`` to pick the execution
 backend (``sequential`` is the reference engine; ``pooled`` / ``batched``
@@ -128,6 +130,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             material=args.material,
             adaptive=args.adaptive,
             online=args.online,
+            consume_forward=args.consume_forward,
             batch_verify=args.batch_verify,
             trace=args.trace,
             **params,
@@ -224,6 +227,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             material=args.material,
             adaptive=args.adaptive,
             online=args.online,
+            consume_forward=args.consume_forward,
             batch_verify=args.batch_verify,
             trace=trace,
             **params,
@@ -231,6 +235,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    watch = None
+    if args.replenish:
+        if not args.online:
+            print("--replenish watches the online spend ledger; it needs "
+                  "--online", file=sys.stderr)
+            return 2
+        from repro.runtime import Replenisher
+
+        watch = Replenisher().watch()
     seeds = list(range(args.seed, args.seed + args.sessions))
     plan = sweep.plan(len(seeds))
     if not args.json:
@@ -238,8 +251,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             [plan.summary()],
             title=f"sweep plan: {args.sessions} x {args.workload} ({args.mode})",
         ))
+    try:
+        if args.verify:
+            verdict = sweep.verify(seeds)
+        else:
+            report = sweep.run(seeds)
+    finally:
+        if watch is not None:
+            watch.stop()
+            if not args.json:
+                done = watch.replenisher.replenishments
+                for record in done:
+                    print(f"replenished ({record['mode']}): "
+                          f"+{record['nonces_added']} nonces "
+                          f"+{record['feldman_added']} feldman -> pools "
+                          f"{record['pool_nonces']}/{record['pool_feldman']}")
+                if not done:
+                    print("replenisher: no watermark crossed")
     if args.verify:
-        verdict = sweep.verify(seeds)
         plan_summary = plan.summary(adaptivity=verdict.report.adaptivity)
         if args.json:
             print(json.dumps(
@@ -249,6 +278,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     "reference": verdict.reference.summary(),
                     "speedup_vs_inline": round(verdict.speedup, 4),
                     "digests_match": verdict.matched,
+                    "replenishments": (
+                        watch.replenisher.replenishments if watch else None
+                    ),
                 },
                 indent=2,
             ))
@@ -264,12 +296,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"trace digests match inline reference, seed for seed: "
                   f"{'yes' if verdict.matched else 'NO'}")
         return 0 if verdict.matched else 1
-    report = sweep.run(seeds)
     if args.json:
         print(json.dumps(
             {
                 "plan": plan.summary(adaptivity=report.adaptivity),
                 "report": report.summary(),
+                "replenishments": (
+                    watch.replenisher.replenishments if watch else None
+                ),
             },
             indent=2,
         ))
@@ -343,6 +377,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             material=args.material,
             adaptive=args.adaptive,
             online=args.online,
+            consume_forward=args.consume_forward,
             batch_verify=args.batch_verify,
         )
     except ValueError as exc:
@@ -416,6 +451,32 @@ def _cmd_material(args: argparse.Namespace) -> int:
         rows = [material.summary() for material in built]
         print(format_table(rows, title=f"built {len(rows)} material sets -> {store.root}"))
         return 0
+    if args.action == "replenish":
+        # One-shot inline run of the replenisher: grow (or compact) the
+        # pools of every default parameter set with a cached blob.  The
+        # extend-vs-rebuild decision is the Replenisher's — extension
+        # preserves the fingerprint lineage and the spend ledger.
+        from repro.runtime import Replenisher
+        from repro.runtime.material import default_groups
+
+        rows = []
+        for group in default_groups():
+            replenisher = Replenisher(group=group, store=store)
+            record = replenisher.replenish(
+                nonces=args.nonces, feldman=args.feldman
+            )
+            if record is not None:
+                rows.append(record)
+        if args.json:
+            print(json.dumps(rows, indent=2))
+        elif not rows:
+            print(f"preprocessing store at {store.root} holds nothing to "
+                  "replenish (run 'repro material build')")
+        else:
+            print(format_table(
+                rows, title=f"replenished {len(rows)} material set(s)"
+            ))
+        return 0 if rows else 2
     if args.action == "inspect":
         records = store.inspect()
         if args.json:
@@ -530,6 +591,14 @@ def build_parser() -> argparse.ArgumentParser:
                  "disk or shared — see 'repro material build --for-sweep')",
         )
         p.add_argument(
+            "--consume-forward", action="store_true",
+            help="offset the online plan by the persisted spend ledger "
+                 "so successive runs spend disjoint pool slices (the "
+                 "plan's range is reserved in the ledger up front); "
+                 "without it, re-running --online re-spends from index 0 "
+                 "and warns when the ledger shows prior spends",
+        )
+        p.add_argument(
             "--batch-verify", action="store_true",
             help="batch verification rounds inside trials through one "
                  "random-linear-combination multi-exp per round "
@@ -594,6 +663,13 @@ def build_parser() -> argparse.ArgumentParser:
              "digest equality (exit 1 on divergence)",
     )
     p.add_argument(
+        "--replenish", action="store_true",
+        help="run a background replenisher during the sweep: it watches "
+             "the spend ledger and extends the pools when remaining "
+             "capacity drops below the burn-rate watermark (requires "
+             "--online)",
+    )
+    p.add_argument(
         "--json", action="store_true",
         help="emit the resolved plan (with adaptivity trace) and report "
              "as JSON instead of tables",
@@ -604,16 +680,18 @@ def build_parser() -> argparse.ArgumentParser:
         "material",
         help="manage the preprocessing store (offline crypto material)",
     )
-    p.add_argument("action", choices=("build", "inspect", "clear"))
+    p.add_argument("action", choices=("build", "inspect", "clear", "replenish"))
     p.add_argument(
         "--dir", default=None,
         help="store directory (default: $REPRO_MATERIAL_DIR or "
              "~/.cache/repro-material)",
     )
     p.add_argument("--nonces", type=int, default=128,
-                   help="Schnorr nonce pairs (k, g^k) per parameter set")
+                   help="Schnorr nonce pairs (k, g^k) per parameter set "
+                        "(for 'replenish': how many to append)")
     p.add_argument("--feldman", type=int, default=16,
-                   help="Feldman-committed random polynomials per set")
+                   help="Feldman-committed random polynomials per set "
+                        "(for 'replenish': how many to append)")
     p.add_argument("--for-sweep", type=int, default=None, metavar="SESSIONS",
                    help="size the pools for an online sweep of this many "
                         "tasks (raises --nonces/--feldman to the sweep "

@@ -42,11 +42,18 @@ from repro.runtime.material import (
     MaterialHandle,
     MaterialStore,
     OnlinePlan,
+    Replenisher,
+    SpendLedger,
     attached_material,
+    ewma_burn_rate,
+    extend_or_rebuild,
     online_pool_requirement,
     publish_material,
+    replenish_amount,
+    replenish_decision,
     resolve_material_source,
     warm_with_material,
+    watermark_for,
 )
 from repro.runtime.pool import (
     PoolReport,
@@ -82,10 +89,12 @@ __all__ = [
     "POOLED",
     "ParallelSweep",
     "PoolReport",
+    "Replenisher",
     "RoundDriver",
     "SEQUENTIAL",
     "SequentialRoundDriver",
     "SessionPool",
+    "SpendLedger",
     "SweepPlan",
     "SweepVerification",
     "TraceDigestUnavailable",
@@ -97,11 +106,15 @@ __all__ = [
     "canonical_detail",
     "compare_trace_digests",
     "ensure_agreement",
+    "ewma_burn_rate",
+    "extend_or_rebuild",
     "get_backend",
     "online_pool_requirement",
     "publish_material",
     "record_online_spend",
     "register_backend",
+    "replenish_amount",
+    "replenish_decision",
     "reports_match",
     "resolve_material_source",
     "resolve_workers",
@@ -110,4 +123,5 @@ __all__ = [
     "sequential_loop",
     "trace_digest",
     "warm_with_material",
+    "watermark_for",
 ]

@@ -352,6 +352,13 @@ class PoolReport:
     adaptivity: Optional[List[Dict[str, Any]]] = None
     #: Aggregate pool consumption for online-mode sweeps (None otherwise).
     online_spend: Optional[Dict[str, int]] = None
+    #: The resolved :class:`~repro.runtime.material.OnlinePlan` the sweep
+    #: executed (None for offline sweeps).  Verification replays must
+    #: reuse this exact plan: re-planning a consume-forward sweep would
+    #: read the already-advanced ledger and reserve *different* slices,
+    #: so the replay would spend different absolute entries and the
+    #: digest check could never pass.  Not part of :meth:`summary`.
+    online_plan: Optional[Any] = None
 
     @property
     def sessions(self) -> int:
@@ -562,6 +569,12 @@ class SessionPool:
             Pool-consuming digests are pinned separately from
             sample-per-call digests — see
             :func:`record_online_spend`.
+        consume_forward: Offset the online plan by the persisted spend
+            ledger (and reserve the plan's range there up front), so
+            successive sweeps against one blob spend disjoint slices
+            instead of re-spending from index 0.  Requires ``online``.
+            Without it, a ledger that already shows spends triggers an
+            advisory :class:`RuntimeWarning` at planning time.
         batch_verify: Batch verification-heavy rounds through one
             random-linear-combination multi-exp per round.  ``True``
             uses the stock :class:`~repro.crypto.batch.BatchPolicy`; an
@@ -589,6 +602,7 @@ class SessionPool:
         material_groups: Optional[Sequence[Any]] = None,
         adaptive: bool = False,
         online: Any = False,
+        consume_forward: bool = False,
         batch_verify: Any = False,
         trace: Optional[str] = None,
         **runner_kwargs: Any,
@@ -617,6 +631,12 @@ class SessionPool:
         )
         self.adaptive = bool(adaptive)
         self.online = online
+        self.consume_forward = bool(consume_forward)
+        if self.consume_forward and not self.online:
+            raise ValueError(
+                "consume_forward offsets the online plan by the spend "
+                "ledger; it needs online=True (or an explicit plan)"
+            )
         if batch_verify is True:
             self.batch_policy: Optional[BatchPolicy] = BatchPolicy()
         elif batch_verify:
@@ -664,23 +684,47 @@ class SessionPool:
         from repro.crypto.groups import TEST_GROUP
 
         group = (self.material_groups or (TEST_GROUP,))[0]
-        return OnlinePlan.for_tasks(seeds, group=group)
+        return OnlinePlan.for_tasks(
+            seeds, group=group, consume_forward=self.consume_forward
+        )
 
     def _aggregate_online(
         self, plan: Any, results: Sequence[Any]
     ) -> Dict[str, int]:
-        """Sum per-trial spend records and ledger them against the store."""
+        """Sum per-trial spend records and ledger them against the store.
+
+        Besides the traffic sums, the ledger gets the *observed reach*:
+        the largest absolute pool index any trial actually consumed
+        through (its reserved range's start plus what it spent).  High
+        marks merge by ``max``, so for consume-forward sweeps this never
+        exceeds the reservation made at plan time, and for classic
+        sweeps it records how deep into the pool slot-0-based plans have
+        actually reached — the number ``inspect`` subtracts to report
+        true remaining capacity.
+        """
         totals = {
             "nonces_spent": 0,
             "feldman_spent": 0,
             "nonces_sampled": 0,
             "feldman_sampled": 0,
         }
+        nonce_reach = 0
+        feldman_reach = 0
         for result in results:
             record = getattr(result, "online", None)
             if record:
                 for key in totals:
                     totals[key] += int(record.get(key, 0))
+                nonce_range = record.get("nonce_range") or (0, 0)
+                feldman_range = record.get("feldman_range") or (0, 0)
+                spent = int(record.get("nonces_spent", 0))
+                if spent:
+                    nonce_reach = max(nonce_reach, int(nonce_range[0]) + spent)
+                spent = int(record.get("feldman_spent", 0))
+                if spent:
+                    feldman_reach = max(
+                        feldman_reach, int(feldman_range[0]) + spent
+                    )
         try:
             from repro.runtime.material import MaterialStore
 
@@ -688,6 +732,9 @@ class SessionPool:
                 plan.fingerprint,
                 nonces=totals["nonces_spent"],
                 feldman=totals["feldman_spent"],
+                nonce_high=nonce_reach,
+                feldman_high=feldman_reach,
+                material_seed=plan.material_seed,
             )
         except OSError:
             pass  # advisory bookkeeping must never fail a finished sweep
@@ -897,6 +944,7 @@ class SessionPool:
             material_source=material_source,
             adaptivity=adaptivity,
             online_spend=online_spend,
+            online_plan=online_plan,
         )
 
 

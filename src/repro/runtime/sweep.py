@@ -54,6 +54,9 @@ class SweepPlan:
     #: Whether trials spend the preprocessed randomness pools (online
     #: protocol mode; digests pinned separately from compute runs).
     online: bool = False
+    #: Whether the online plan is offset by the persisted spend ledger
+    #: (consume-forward mode: successive sweeps spend disjoint slices).
+    consume_forward: bool = False
     #: Whether trials batch verification rounds through random-linear-
     #: combination multi-exps (digest-pinned via ``verify.batch`` events
     #: when the policy records them).
@@ -83,6 +86,7 @@ class SweepPlan:
             "material_source": self.material_source,
             "adaptive": self.adaptive,
             "online": self.online,
+            "consume_forward": self.consume_forward,
             "batch_verify": self.batch_verify,
         }
         if adaptivity is not None:
@@ -132,6 +136,11 @@ class ParallelSweep:
             pool-bearing ``material`` source.  ``verify()`` replays the
             same plan inline from the disk store, so pool-consuming
             sweeps stay seed-for-seed digest-checkable.
+        consume_forward: Offset the online plan by the persisted spend
+            ledger so successive sweeps spend disjoint pool slices (see
+            :class:`~repro.runtime.pool.SessionPool`).  ``verify()``
+            still holds: the reference replays the executed report's
+            exact plan, offsets included.
         batch_verify: Batch verification rounds inside trials via
             random-linear-combination multi-exps (``True`` for the stock
             :class:`~repro.crypto.batch.BatchPolicy`, or an explicit
@@ -155,13 +164,14 @@ class ParallelSweep:
         material_groups: Optional[Any] = None,
         adaptive: bool = False,
         online: Any = False,
+        consume_forward: bool = False,
         batch_verify: Any = False,
         trace: Optional[str] = None,
         **runner_kwargs: Any,
     ) -> None:
         # SessionPool validates executor/chunksize/max_tasks_per_child/
-        # material/online/batch_verify up front, so a bad sweep fails at
-        # construction, not mid-fan-out.
+        # material/online/batch_verify/consume_forward up front, so a bad
+        # sweep fails at construction, not mid-fan-out.
         self._pool = SessionPool(
             runner=runner,
             backend=backend,
@@ -174,6 +184,7 @@ class ParallelSweep:
             material_groups=material_groups,
             adaptive=adaptive,
             online=online,
+            consume_forward=consume_forward,
             batch_verify=batch_verify,
             trace=trace,
             **runner_kwargs,
@@ -209,6 +220,10 @@ class ParallelSweep:
             material_source=self._pool.material,
             adaptive=self._pool.adaptive and executor == "process",
             online=bool(self._pool.online),
+            consume_forward=self._pool.consume_forward
+            or bool(
+                getattr(self._pool.online, "consume_forward", False)
+            ),
             batch_verify=self._pool.batch_policy is not None,
         )
 
@@ -216,7 +231,11 @@ class ParallelSweep:
         """Execute every task; results come back in task order."""
         return self._pool.run(tasks)
 
-    def _inline_reference(self, tasks: Optional[Iterable[Any]] = None) -> SessionPool:
+    def _inline_reference(
+        self,
+        tasks: Optional[Iterable[Any]] = None,
+        report: Optional[PoolReport] = None,
+    ) -> SessionPool:
         """An inline pool with identical runner/backend/trace settings.
 
         Deliberately left on the default ``compute`` material: verify()
@@ -228,7 +247,11 @@ class ParallelSweep:
         same pool entries*, so it attaches the disk store (same blob the
         sweep published) and replays the sweep's exact
         :class:`~repro.runtime.material.OnlinePlan` — which is how
-        pool-consuming process runs stay seed-for-seed verifiable.
+        pool-consuming process runs stay seed-for-seed verifiable.  When
+        the executed ``report`` is available its resolved plan is reused
+        verbatim; re-planning here would re-read the spend ledger, which
+        a consume-forward sweep has already advanced, and the replay
+        would land on different absolute slices than the recorded run.
         """
         batch_verify = self._pool.batch_policy or False
         if not self._pool.online:
@@ -242,15 +265,20 @@ class ParallelSweep:
             )
         from repro.runtime.material import MATERIAL_DISK
 
+        plan = getattr(report, "online_plan", None)
+        if plan is None:
+            plan = (
+                self._pool.online
+                if not isinstance(self._pool.online, bool)
+                else self._pool._online_plan(list(tasks or ()))
+            )
         return SessionPool(
             runner=self._pool.runner,
             backend=self._pool.backend,
             executor="inline",
             material=MATERIAL_DISK,
             material_groups=self._pool.material_groups,
-            online=self._pool.online
-            if not isinstance(self._pool.online, bool)
-            else self._pool._online_plan(list(tasks or ())),
+            online=plan,
             batch_verify=batch_verify,
             trace=self._pool.trace,
             **self._pool.runner_kwargs,
@@ -266,7 +294,7 @@ class ParallelSweep:
         """
         tasks = list(tasks)
         report = self.run(tasks)
-        reference = self._inline_reference(tasks).run(tasks)
+        reference = self._inline_reference(tasks, report=report).run(tasks)
         return SweepVerification(
             report=report,
             reference=reference,

@@ -591,6 +591,7 @@ def run_matrix(
     material: Optional[str] = None,
     adaptive: bool = False,
     online: bool = False,
+    consume_forward: bool = False,
     batch_verify: Any = False,
 ) -> MatrixReport:
     """Execute every cell through a :class:`ParallelSweep`.
@@ -604,9 +605,12 @@ def run_matrix(
     fixed chunks either starve on or drown in IPC.  ``online`` spends
     the preprocessed randomness pools inside cells, with backend-variant
     replays of one execution sharing a pool slot (see
-    :func:`online_slots_for`).  ``batch_verify`` batches each cell's
-    verification rounds (``True`` or an explicit
-    :class:`~repro.crypto.batch.BatchPolicy`).
+    :func:`online_slots_for`).  ``consume_forward`` offsets that plan by
+    the persisted spend ledger (and reserves the range up front), so
+    successive matrix runs spend fresh slices; backend-variant replays
+    keep sharing slots because the offset is uniform across the plan.
+    ``batch_verify`` batches each cell's verification rounds (``True``
+    or an explicit :class:`~repro.crypto.batch.BatchPolicy`).
     """
     specs = tuple(specs)
     online_plan: Any = False
@@ -614,7 +618,14 @@ def run_matrix(
         from repro.runtime.material import OnlinePlan
 
         online_plan = OnlinePlan.for_tasks(
-            range(len(specs)), slots=online_slots_for(specs)
+            range(len(specs)),
+            slots=online_slots_for(specs),
+            consume_forward=consume_forward,
+        )
+    elif consume_forward:
+        raise ValueError(
+            "consume_forward offsets the online plan by the spend "
+            "ledger; it needs online=True"
         )
     sweep = ParallelSweep(
         runner=run_scenario_trial,

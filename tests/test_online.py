@@ -392,7 +392,11 @@ def test_sweep_ledgers_consumption_and_inspect_reports_remaining(store):
     }
     record = records[group_fingerprint(TEST_GROUP)]
     assert record["nonces"] == 64
-    assert record["nonces_remaining"] == 64 - 6
+    assert record["nonces_spent"] == 6
+    # Remaining capacity is high-water based: two voting trials occupy
+    # slots 0 and 1 (8 nonces each) and spend 3 nonces inside each, so
+    # the highest touched index is 8 + 3 = 11.
+    assert record["nonces_remaining"] == 64 - 11
     assert record["feldman_remaining"] == 16
 
 
@@ -406,6 +410,116 @@ def test_inspect_flags_misnamed_blob_as_integrity_failure(store):
     assert len(records) == 1
     assert records[0]["ok"] is False
     assert "named" in records[0]["error"]
+
+
+# ---------------------------------------------------------------------------
+# Consume-forward: successive sweeps spend disjoint slices
+# ---------------------------------------------------------------------------
+
+
+def test_consume_forward_requires_online():
+    with pytest.raises(ValueError, match="consume_forward"):
+        SessionPool(consume_forward=True, **VOTING)
+
+
+def test_consecutive_consume_forward_sweeps_spend_disjoint_slices(store):
+    """The acceptance contract: run the same consume-forward sweep twice;
+    the second run's absolute pool ranges start where the first stopped,
+    and both replay seed-for-seed under --verify."""
+    store.build([TEST_GROUP], nonces=64, feldman=16)
+
+    def sweep():
+        return ParallelSweep(
+            executor="inline", material="disk", online=True,
+            consume_forward=True, **VOTING,
+        ).verify(range(2))
+
+    first = sweep()
+    second = sweep()
+    assert first.matched and second.matched
+    plan_one = first.report.online_plan
+    plan_two = second.report.online_plan
+    assert plan_one.consume_forward and plan_two.consume_forward
+    one_end = plan_one.nonce_offset + plan_one.required_pools()["nonces"]
+    assert plan_one.nonce_offset == 0
+    assert plan_two.nonce_offset == one_end
+    # Slot-level view: every slice of run two sits past every slice of
+    # run one, for both pools.
+    for slot in range(2):
+        (n_lo_1, n_hi_1), (f_lo_1, f_hi_1) = plan_one.ranges_for(slot)
+        (n_lo_2, _), (f_lo_2, _) = plan_two.ranges_for(slot)
+        assert n_lo_2 >= one_end > n_hi_1 - 1 >= n_lo_1
+        assert f_lo_2 >= f_hi_1 - 1 >= f_lo_1
+    # And the ledger's high mark covers both reservations.
+    ledger = store.ledger(plan_two.fingerprint)
+    assert ledger.nonce_high == plan_two.nonce_offset + plan_two.required_pools()["nonces"]
+
+
+def test_online_without_consume_forward_warns_on_prior_spends(store):
+    """The advisory-ledger footgun: a classic online sweep over a ledger
+    that already records spends is about to re-spend them — warn."""
+    store.build([TEST_GROUP], nonces=64, feldman=16)
+    fingerprint = group_fingerprint(TEST_GROUP)
+    store.record_spend(fingerprint, nonces=6, nonce_high=6, material_seed=0)
+    with pytest.warns(RuntimeWarning, match="re-spends from index 0"):
+        OnlinePlan.for_tasks([0, 1], store=store)
+    # A clean ledger stays quiet.
+    (store.root / f"{fingerprint}{store.SUFFIX}.spent").unlink()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        OnlinePlan.for_tasks([0, 1], store=store)
+
+
+def test_watermark_crossing_sweep_replenishes_exactly_once(store):
+    """A sweep that drives remaining capacity under the watermark causes
+    one replenishment; the grown pools still pass inspect."""
+    from repro.runtime import Replenisher
+
+    store.build([TEST_GROUP], nonces=24, feldman=8)
+    verdict = ParallelSweep(
+        executor="inline", material="disk", online=True,
+        consume_forward=True, **VOTING,
+    ).verify(range(2))
+    assert verdict.matched
+    rep = Replenisher(store=store)
+    rep.observe(verdict.report.online_spend)
+    first = rep.maybe_replenish()
+    assert first is not None and first["mode"] == "extend"
+    assert rep.maybe_replenish() is None  # hysteresis: exactly once
+    record = next(r for r in store.inspect() if r["fingerprint"] == first["fingerprint"])
+    assert record["ok"]
+    assert record["nonces"] == first["pool_nonces"] > 24
+
+
+def test_cli_sweep_consume_forward_replenish_round_trip(store, capsys):
+    import json
+
+    from repro.cli import main
+
+    assert main(["material", "build", "--nonces", "24", "--feldman", "8"]) == 0
+    capsys.readouterr()
+    argv = [
+        "sweep", "--sessions", "2", "--workload", "voting",
+        "--executor", "inline", "--material", "disk",
+        "--online", "--consume-forward", "--replenish", "--verify", "--json",
+    ]
+    assert main(argv) == 0
+    one = json.loads(capsys.readouterr().out)
+    assert one["digests_match"] is True
+    assert one["plan"]["consume_forward"] is True
+    assert main(argv) == 0
+    two = json.loads(capsys.readouterr().out)
+    assert two["digests_match"] is True
+    # The pools grew (or the ledger advanced) between runs; either way
+    # the store still passes inspect cleanly afterwards.
+    assert main(["material", "inspect"]) == 0
+
+
+def test_cli_sweep_replenish_requires_online(store, capsys):
+    from repro.cli import main
+
+    assert main(["sweep", "--sessions", "2", "--replenish"]) == 2
+    assert "--online" in capsys.readouterr().err
 
 
 # ---------------------------------------------------------------------------
