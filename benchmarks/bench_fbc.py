@@ -75,7 +75,7 @@ def test_e3_simulator_advantage_alpha_equals_two(benchmark):
         probe = OutputRequestProbe()
         session = Session(seed=2, adversary=probe)
         fbc = FairBroadcast(session, delta=2, alpha=2)
-        parties = {
+        _parties = {
             f"P{i}": DummyBroadcastParty(session, f"P{i}", fbc) for i in range(3)
         }
         env = Environment(session)
@@ -116,7 +116,7 @@ def test_e3_lock_defeats_replacement(benchmark):
         attack = UBCReplaceAttack(victim="P0", replacement=b"evil")
         session2 = Session(seed=3, adversary=attack)
         ubc = UnfairBroadcast(session2)
-        parties2 = {
+        _parties2 = {
             f"P{i}": DummyBroadcastParty(session2, f"P{i}", ubc) for i in range(3)
         }
         Environment(session2).run_round([("P0", lambda p: p.broadcast(b"good"))])

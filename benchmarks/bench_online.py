@@ -17,7 +17,7 @@ import time
 
 from conftest import emit, once
 
-from repro.crypto.groups import GROUP_2048, SchnorrGroup, TEST_GROUP
+from repro.crypto.groups import GROUP_2048, TEST_GROUP, SchnorrGroup
 from repro.crypto.preprocessing import build_material
 from repro.crypto.randomness import spending
 from repro.crypto.schnorr import schnorr_keygen, schnorr_sign, schnorr_verify

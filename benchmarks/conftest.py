@@ -20,7 +20,7 @@ import os
 import pathlib
 import sys
 import time
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 

@@ -22,14 +22,6 @@ See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md``
 for the paper-claim vs. measured record.
 """
 
-from repro.core import (
-    build_durs_stack,
-    build_sbc_stack,
-    build_tle_stack,
-    build_voting_stack,
-)
-from repro.uc import Environment, Session
-
 __version__ = "1.0.0"
 
 __all__ = [
@@ -41,3 +33,31 @@ __all__ = [
     "build_tle_stack",
     "build_voting_stack",
 ]
+
+# Lazy re-exports (PEP 562): `import repro` must stay lightweight so the
+# stdlib-only paths — `repro lint` on a minimal install, tooling that
+# just wants __version__ — never pay for (or require) the crypto and
+# runtime stacks.  Attribute access resolves the heavy modules on demand.
+_LAZY = {
+    "build_durs_stack": "repro.core",
+    "build_sbc_stack": "repro.core",
+    "build_tle_stack": "repro.core",
+    "build_voting_stack": "repro.core",
+    "Environment": "repro.uc",
+    "Session": "repro.uc",
+}
+
+
+def __getattr__(name):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,8 +1,9 @@
-"""Result analysis: tables, attack statistics, cost reports."""
+"""Result analysis: tables, attack statistics, cost reports, lint.
 
-from repro.analysis.complexity import CostReport, cost_report, per_party_oracle_use
-from repro.analysis.tables import format_table
-from repro.analysis.stats import bit_bias, proportion, uniformity_pvalue
+Re-exports are lazy (PEP 562): :mod:`repro.analysis.complexity` reaches
+into the protocol stack, and the ``repro lint`` path must be importable
+on a minimal install without touching it.
+"""
 
 __all__ = [
     "CostReport",
@@ -13,3 +14,28 @@ __all__ = [
     "proportion",
     "uniformity_pvalue",
 ]
+
+_LAZY = {
+    "CostReport": "repro.analysis.complexity",
+    "cost_report": "repro.analysis.complexity",
+    "per_party_oracle_use": "repro.analysis.complexity",
+    "format_table": "repro.analysis.tables",
+    "bit_bias": "repro.analysis.stats",
+    "proportion": "repro.analysis.stats",
+    "uniformity_pvalue": "repro.analysis.stats",
+}
+
+
+def __getattr__(name):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,56 @@
+"""``repro lint`` — AST invariant linter for the repro codebase.
+
+Seven PRs of growth accumulated load-bearing conventions that used to
+live only in prose and regression tests: canonical trace digests, the
+``RandomnessSource`` seam, int-normalized arithmetic boundaries,
+lock-guarded lazy caches, warn-and-degrade worker paths, picklable
+multiprocessing submissions.  This package turns them into
+machine-checked rules (``RPR001``–``RPR006``) over the source AST.
+
+The lint path deliberately imports nothing outside the standard library
+(no ``repro.crypto``, no ``repro.runtime``), so ``repro lint`` runs on a
+minimal install without gmpy2 or hypothesis.
+
+Public surface:
+
+* :func:`~repro.analysis.lint.engine.lint_paths` /
+  :func:`~repro.analysis.lint.engine.lint_source` — run rules, get a
+  :class:`~repro.analysis.lint.engine.LintReport`;
+* :class:`~repro.analysis.lint.engine.Rule` +
+  :func:`~repro.analysis.lint.engine.register_rule` — add a rule;
+* :mod:`repro.analysis.lint.cli` — the ``repro lint`` front end.
+
+Suppression syntax — same line or a comment line directly above::
+
+    self._fb_calls += 1  # repro: allow[RPR004] benign racy counter
+
+    # repro: allow[RPR002] baseline Shamir is not pool-backed
+    coeffs = [rng.randrange(modulus) for _ in range(t)]
+"""
+
+from repro.analysis.lint import rules as _rules  # noqa: F401  (registers RPR001-RPR006)
+from repro.analysis.lint.engine import (
+    Finding,
+    LintReport,
+    Rule,
+    Suppression,
+    all_rules,
+    get_rule,
+    lint_paths,
+    lint_source,
+    parse_suppressions,
+    register_rule,
+)
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Rule",
+    "Suppression",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "parse_suppressions",
+    "register_rule",
+]

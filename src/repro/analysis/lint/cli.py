@@ -1,0 +1,122 @@
+"""The ``repro lint`` front end.
+
+Dispatched from :func:`repro.cli.main` *before* the main parser is
+built, so this path never imports the crypto/runtime stack — the CI
+lint job runs it on a minimal install (no gmpy2, no hypothesis).
+
+Exit codes: ``0`` clean, ``1`` findings, ``2`` usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.lint.engine import all_rules, get_rule, lint_paths
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "AST invariant linter for the repro codebase: determinism "
+            "(RPR001), randomness seam (RPR002), arith normalization "
+            "(RPR003), lock discipline (RPR004), worker degradation "
+            "(RPR005), pickle safety (RPR006).  Suppress a finding with "
+            "`# repro: allow[RPR00X] <reason>` on (or above) the line."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the full report (findings, suppressions, rules) as JSON",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (e.g. RPR001,RPR004)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and their invariants, then exit",
+    )
+    return parser
+
+
+def resolve_rules(args: argparse.Namespace) -> List:
+    """The active rule set for this invocation; raises ValueError on bad ids."""
+    selected = None
+    if args.rule or args.select:
+        ids: List[str] = list(args.rule or [])
+        if args.select:
+            ids.extend(part.strip() for part in args.select.split(",") if part.strip())
+        selected = [get_rule(rule_id) for rule_id in dict.fromkeys(ids)]
+    rules = selected if selected is not None else all_rules()
+    if args.ignore:
+        dropped = {part.strip() for part in args.ignore.split(",") if part.strip()}
+        for rule_id in dropped:
+            get_rule(rule_id)  # validate
+        rules = [rule for rule in rules if rule.id not in dropped]
+    return rules
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            scope = ", ".join(rule.paths) if rule.paths else "all files"
+            print(f"{rule.id}  {rule.name}  [{scope}]")
+            print(f"        {rule.invariant}")
+        return 0
+    try:
+        rules = resolve_rules(args)
+    except ValueError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = lint_paths(args.paths or None, rules)
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        noun = "finding" if len(report.findings) == 1 else "findings"
+        print(
+            f"{len(report.findings)} {noun} "
+            f"({len(report.suppressions)} suppressed) in {report.files} files"
+        )
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

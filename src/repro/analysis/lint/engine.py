@@ -1,0 +1,332 @@
+"""Lint engine: rule registry, suppression parsing, file walking, report.
+
+Standard-library only by design — the ``repro lint`` CI job runs on a
+minimal install (no gmpy2, no hypothesis), and the engine must never
+drag the crypto/runtime stack into the interpreter just to parse ASTs.
+
+Path scoping
+------------
+
+Rules scope themselves with fnmatch patterns over each file's *relative*
+posix path (``crypto/groups.py``, ``runtime/pool.py``).  The relative
+root is:
+
+* the directory argument itself when a directory is linted (so linting
+  ``src/repro`` yields ``crypto/...`` paths, and a fixture tree
+  ``tmp/crypto/bad.py`` linted at ``tmp`` triggers crypto-scoped rules);
+* for a bare file argument, the topmost enclosing package (walking up
+  while ``__init__.py`` exists), so single-file runs see the same rule
+  scoping as whole-tree runs.
+
+A pattern matches either the whole relpath or any suffix at a directory
+boundary (``crypto/*.py`` matches both ``crypto/x.py`` and
+``repro/crypto/x.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LintReport",
+    "Rule",
+    "Suppression",
+    "all_rules",
+    "default_root",
+    "get_rule",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "parse_suppressions",
+    "path_matches",
+    "register_rule",
+]
+
+#: ``# repro: allow[RPR004]`` / ``# repro: allow[RPR001, RPR005]``
+SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_\-,\s]+)\]")
+
+#: Rule id for files the engine cannot parse (not a registered rule:
+#: it cannot be deselected — an unparsable file is never clean).
+PARSE_ERROR = "RPR000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A finding that an inline ``repro: allow`` comment waived."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+class LintContext:
+    """Everything a rule sees for one file."""
+
+    def __init__(self, relpath: str, source: str, tree: ast.Module) -> None:
+        self.relpath = relpath
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=rule.id,
+            path=self.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`id` (``RPRnnn``), :attr:`name` (kebab-case),
+    :attr:`invariant` (the one-line contract the rule enforces) and
+    :attr:`paths` (fnmatch scoping patterns, ``None`` for every file),
+    and implement :meth:`check` yielding :class:`Finding` objects —
+    usually via :meth:`LintContext.finding`.
+    """
+
+    id: str = ""
+    name: str = ""
+    invariant: str = ""
+    #: fnmatch patterns over the relative posix path; ``None`` = all files.
+    paths: Optional[Tuple[str, ...]] = None
+
+    def applies_to(self, relpath: str) -> bool:
+        if self.paths is None:
+            return True
+        return any(path_matches(relpath, pattern) for pattern in self.paths)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "name": self.name,
+            "invariant": self.invariant,
+            "paths": list(self.paths) if self.paths else ["**"],
+        }
+
+
+def path_matches(relpath: str, pattern: str) -> bool:
+    """fnmatch against the relpath or any directory-boundary suffix."""
+    return fnmatch(relpath, pattern) or fnmatch(relpath, "*/" + pattern)
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(cls: type) -> type:
+    """Class decorator: instantiate and register a :class:`Rule`."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by id."""
+    return [_REGISTRY[key] for key in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "none registered"
+        raise ValueError(f"unknown rule id {rule_id!r} (known: {known})") from None
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule ids allowed there.
+
+    A ``# repro: allow[IDS]`` trailing a code line suppresses findings on
+    that line; on a comment-only line it suppresses the next line (so a
+    suppression can sit above a long statement).  IDS is comma-separated.
+    """
+    allowed: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        target = lineno + 1 if text.lstrip().startswith("#") else lineno
+        allowed.setdefault(target, set()).update(ids)
+    return allowed
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run (one or many files)."""
+
+    root: str
+    files: int
+    rules: List[str]
+    findings: List[Finding]
+    suppressions: List[Suppression]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "version": 1,
+            "root": self.root,
+            "files": self.files,
+            "rules": self.rules,
+            "findings": [finding.as_dict() for finding in self.findings],
+            "suppressions": [record.as_dict() for record in self.suppressions],
+            "clean": self.clean,
+        }
+
+
+def lint_source(
+    source: str,
+    relpath: str,
+    rules: Optional[Sequence[Rule]] = None,
+) -> Tuple[List[Finding], List[Suppression]]:
+    """Lint one in-memory source blob under its scoping relpath."""
+    active = list(rules) if rules is not None else all_rules()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        finding = Finding(
+            rule=PARSE_ERROR,
+            path=relpath,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            message=f"file does not parse: {exc.msg}",
+        )
+        return [finding], []
+    ctx = LintContext(relpath=relpath, source=source, tree=tree)
+    allowed = parse_suppressions(source)
+    findings: List[Finding] = []
+    suppressed: List[Suppression] = []
+    for rule in active:
+        if not rule.applies_to(relpath):
+            continue
+        for finding in rule.check(ctx):
+            if finding.rule in allowed.get(finding.line, ()):
+                suppressed.append(
+                    Suppression(
+                        rule=finding.rule,
+                        path=finding.path,
+                        line=finding.line,
+                        message=finding.message,
+                    )
+                )
+            else:
+                findings.append(finding)
+    findings.sort(key=lambda f: f.sort_key)
+    suppressed.sort(key=lambda s: (s.path, s.line, s.rule))
+    return findings, suppressed
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory (what ``repro lint`` checks)."""
+    return Path(__file__).resolve().parents[2]
+
+
+def package_root(path: Path) -> Path:
+    """Topmost package dir for a file: walk up while ``__init__.py`` exists."""
+    root = path.parent
+    while (root.parent / "__init__.py").is_file():
+        root = root.parent
+    return root
+
+
+def iter_python_files(root: Path) -> Iterator[Path]:
+    """Every ``*.py`` under ``root``, sorted, skipping caches/hidden dirs."""
+    for candidate in sorted(root.rglob("*.py")):
+        parts = candidate.relative_to(root).parts
+        if any(part == "__pycache__" or part.startswith(".") for part in parts):
+            continue
+        yield candidate
+
+
+def lint_paths(
+    paths: Optional[Iterable[Path]] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintReport:
+    """Lint files/directories and aggregate a :class:`LintReport`.
+
+    With no ``paths``, lints the installed ``repro`` package tree.
+    """
+    targets = [Path(p) for p in paths] if paths else [default_root()]
+    active = list(rules) if rules is not None else all_rules()
+    findings: List[Finding] = []
+    suppressions: List[Suppression] = []
+    files = 0
+    for target in targets:
+        if target.is_dir():
+            pairs = [(f, f.relative_to(target).as_posix()) for f in iter_python_files(target)]
+        elif target.is_file():
+            root = package_root(target)
+            pairs = [(target, target.relative_to(root).as_posix())]
+        else:
+            raise FileNotFoundError(f"no such file or directory: {target}")
+        for filepath, relpath in pairs:
+            files += 1
+            source = filepath.read_text(encoding="utf-8")
+            file_findings, file_suppressed = lint_source(source, relpath, active)
+            findings.extend(file_findings)
+            suppressions.extend(file_suppressed)
+    findings.sort(key=lambda f: f.sort_key)
+    suppressions.sort(key=lambda s: (s.path, s.line, s.rule))
+    return LintReport(
+        root=", ".join(str(t) for t in targets),
+        files=files,
+        rules=[rule.id for rule in active],
+        findings=findings,
+        suppressions=suppressions,
+    )

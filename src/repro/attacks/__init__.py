@@ -16,7 +16,6 @@ Module               What it attacks / demonstrates
 ===================  ======================================================
 """
 
-from repro.attacks.rushing import SBCCopyAttack, UBCCopyAttack
 from repro.attacks.adaptive import (
     FBCReplaceAttack,
     LockedReplaceAttack,
@@ -24,6 +23,7 @@ from repro.attacks.adaptive import (
     UBCReplaceAttack,
 )
 from repro.attacks.bias import BiasingContributor
+from repro.attacks.rushing import SBCCopyAttack, UBCCopyAttack
 
 __all__ = [
     "BiasingContributor",

@@ -16,7 +16,7 @@ paper's Section 3:
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import Any, List
 
 from repro.uc.adversary import Adversary
 

@@ -20,7 +20,7 @@ Module               Baseline
 """
 
 from repro.baselines.gennaro import GennaroParty, GennaroSBCNetwork
-from repro.baselines.hevia import HeviaSBCNetwork, HeviaParty
+from repro.baselines.hevia import HeviaParty, HeviaSBCNetwork
 from repro.baselines.naive_beacon import NaiveBeaconParty
 from repro.baselines.rounds_models import COMPLEXITY_MODELS, complexity_table
 

@@ -30,13 +30,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
-from repro.crypto.groups import SchnorrGroup, TEST_GROUP
+from repro.baselines.hevia import MAX_MESSAGE, message_to_scalar, scalar_to_message
+from repro.crypto.groups import TEST_GROUP, SchnorrGroup
 from repro.crypto.hashing import hash_bytes
 from repro.crypto.shamir import Share, feldman_share, feldman_verify, reconstruct_secret
-from repro.baselines.hevia import MAX_MESSAGE, message_to_scalar, scalar_to_message
 from repro.functionalities.network import SyncNetwork
 from repro.functionalities.ubc import UnfairBroadcast
-from repro.uc.encoding import encode, sort_key
+from repro.uc.encoding import sort_key
 from repro.uc.entity import Functionality, Party
 
 if TYPE_CHECKING:  # pragma: no cover - typing only

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.crypto.groups import SchnorrGroup, TEST_GROUP
+from repro.crypto.groups import TEST_GROUP, SchnorrGroup
 from repro.crypto.shamir import (
     FeldmanCommitment,
     Share,
@@ -150,7 +150,7 @@ class HeviaParty(Party):
         elif now == self.reveal_round + 1 and not self.delivered:
             self.delivered = True
             batch: List[bytes] = []
-            for dealer, points in self.echoes.items():
+            for _dealer, points in self.echoes.items():
                 if len(points) < self.threshold + 1:
                     continue
                 shares = [Share(x=x, y=y) for x, y in points.items()]

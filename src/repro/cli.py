@@ -730,12 +730,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", nargs="+", type=int, default=[4, 16, 64])
     p.set_defaults(func=_cmd_lineage)
 
+    # `repro lint` is normally short-circuited in main() before this
+    # parser exists (the lint path must not import the crypto/runtime
+    # stack); this stub keeps it in --help and covers invocations that
+    # put global flags first (`repro --arith python lint ...`).
+    p = sub.add_parser(
+        "lint",
+        help="AST invariant linter (RPR001-RPR006); exits non-zero on findings",
+    )
+    p.add_argument("args", nargs=argparse.REMAINDER,
+                   help="arguments forwarded to the linter (see `repro lint --help`)")
+    p.set_defaults(func=_cmd_lint)
+
     return parser
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint.cli import main as lint_main
+
+    return lint_main(args.args)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
+    raw = list(sys.argv[1:]) if argv is None else list(argv)
+    if raw[:1] == ["lint"]:
+        # Dispatch before build_parser(): the linter must run on a
+        # minimal install, and building the full parser imports the
+        # runtime stack for backend/executor choices.
+        from repro.analysis.lint.cli import main as lint_main
+
+        return lint_main(raw[1:])
     parser = build_parser()
+    argv = raw
     args = parser.parse_args(argv)
     if args.arith is not None:
         from repro.crypto.groups import set_arith_backend

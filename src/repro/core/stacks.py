@@ -30,13 +30,13 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.functionalities.certification import Certification
-from repro.functionalities.durs import DelayedURS
 from repro.functionalities.dummy import (
     DummyBroadcastParty,
     DummyTLEParty,
     DummyURSParty,
     DummyVoterParty,
 )
+from repro.functionalities.durs import DelayedURS
 from repro.functionalities.fbc import FairBroadcast
 from repro.functionalities.keygen import AuthorityKeyGen, VoterKeyGen
 from repro.functionalities.random_oracle import RandomOracle
@@ -45,12 +45,12 @@ from repro.functionalities.tle import TimeLockEncryption
 from repro.functionalities.ubc import UnfairBroadcast
 from repro.functionalities.voting import VotingSystem
 from repro.functionalities.wrapper import QueryWrapper
+from repro.protocols.durs_protocol import make_durs_network
 from repro.protocols.fbc_protocol import FBCProtocolAdapter
 from repro.protocols.sbc_protocol import SBCParty, SBCProtocolAdapter
 from repro.protocols.tle_protocol import TLEProtocolAdapter
 from repro.protocols.ubc_protocol import UBCProtocolAdapter
 from repro.protocols.voting_protocol import AuthorityParty, Election, VoterParty
-from repro.protocols.durs_protocol import make_durs_network
 from repro.runtime.backend import ExecutionBackend
 from repro.uc.adversary import Adversary
 from repro.uc.environment import Environment

@@ -33,6 +33,22 @@ Modules
   sample per call; pool-backed cursors spend preprocessed material).
 """
 
+from repro.crypto.batch import (
+    BatchItem,
+    BatchPolicy,
+    BatchReport,
+    batching,
+    current_policy,
+    verify_batch,
+)
+from repro.crypto.elgamal import ElGamalCiphertext, elgamal_decrypt, elgamal_encrypt, elgamal_keygen
+from repro.crypto.groups import (
+    TEST_GROUP,
+    SchnorrGroup,
+    available_arith_backends,
+    get_arith_backend,
+    set_arith_backend,
+)
 from repro.crypto.hashing import hash_bytes, hash_to_int, xor_bytes
 from repro.crypto.preprocessing import (
     CryptoMaterial,
@@ -50,24 +66,8 @@ from repro.crypto.randomness import (
     install_source,
     spending,
 )
-from repro.crypto.ske import SymmetricKey, ske_decrypt, ske_encrypt, ske_gen
-from repro.crypto.groups import (
-    SchnorrGroup,
-    TEST_GROUP,
-    available_arith_backends,
-    get_arith_backend,
-    set_arith_backend,
-)
 from repro.crypto.schnorr import SchnorrKeyPair, schnorr_keygen, schnorr_sign, schnorr_verify
-from repro.crypto.elgamal import ElGamalCiphertext, elgamal_decrypt, elgamal_encrypt, elgamal_keygen
-from repro.crypto.batch import (
-    BatchItem,
-    BatchPolicy,
-    BatchReport,
-    batching,
-    current_policy,
-    verify_batch,
-)
+from repro.crypto.ske import SymmetricKey, ske_decrypt, ske_encrypt, ske_gen
 
 __all__ = [
     "BatchItem",

@@ -190,10 +190,14 @@ def verify_batch(
     else:
         batched = len(batchable)
 
-    rng = random.Random(seed)
+    # RLC coefficients are *public* verifier randomness derived from a
+    # Fiat–Shamir-style digest seed — deliberately reproducible, never
+    # secret, never spent from the preprocessed pools; the seam does not
+    # apply.
+    rng = random.Random(seed)  # repro: allow[RPR002]
     coefficients: Dict[int, Tuple[int, ...]] = {
         index: tuple(
-            rng.getrandbits(COEFFICIENT_BITS) | 1
+            rng.getrandbits(COEFFICIENT_BITS) | 1  # repro: allow[RPR002]
             for _ in item_list[index].equations
         )
         for index in batchable

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
-from repro.crypto.groups import SchnorrGroup, TEST_GROUP
+from repro.crypto.groups import TEST_GROUP, SchnorrGroup
 
 
 @dataclass(frozen=True)

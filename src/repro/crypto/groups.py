@@ -299,7 +299,12 @@ class SchnorrGroup:
         e = exponent % self.q
         if self._fb_state is None:
             if self.p.bit_length() > FIXED_BASE_AUTO_BITS and self._fb_calls < FIXED_BASE_AUTO_CALLS:
-                object.__setattr__(self, "_fb_calls", self._fb_calls + 1)
+                # Racing threads may each bump the counter; the lock makes
+                # the read-modify-write atomic so the auto-warm threshold
+                # cannot be overshot by a lost update (RPR004).  Cheap:
+                # this branch runs at most FIXED_BASE_AUTO_CALLS times.
+                with self._accel_lock:
+                    object.__setattr__(self, "_fb_calls", self._fb_calls + 1)
                 return _ARITH.powmod(self.g, e, self.p)
             self.precompute_fixed_base()
         return self._fixed_base_pow(e)
@@ -327,7 +332,9 @@ class SchnorrGroup:
 
     def random_scalar(self, rng) -> int:
         """Uniform exponent in [1, q)."""
-        return rng.randrange(1, self.q)
+        # The seam's own substrate: SampleSource/current_source() resolve
+        # *to* this primitive, so it draws from the rng directly.
+        return rng.randrange(1, self.q)  # repro: allow[RPR002]
 
     def random_element(self, rng) -> int:
         """Uniform non-identity group element."""
@@ -570,7 +577,7 @@ class SchnorrGroup:
                 for _ in range(window):
                     result = result * result % p
             shift = index * window
-            for (base, e), row in zip(pairs, tables):
+            for (_base, e), row in zip(pairs, tables):
                 digit = (e >> shift) & mask
                 if digit:
                     result = result * row[digit] % p

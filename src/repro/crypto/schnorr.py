@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from functools import partial
 
 from repro.crypto.batch import BatchItem, Equation
-from repro.crypto.groups import SchnorrGroup, TEST_GROUP
+from repro.crypto.groups import TEST_GROUP, SchnorrGroup
 from repro.crypto.hashing import hash_to_int
 from repro.crypto.randomness import current_source
 

@@ -59,7 +59,11 @@ def share_secret(
     if parties >= modulus:
         raise ValueError("field too small for this many parties")
     coefficients = [secret % modulus] + [
-        rng.randrange(modulus) for _ in range(threshold)
+        # Plain Shamir is the honest-majority baseline from prior work;
+        # it is never pool-backed (only feldman_share spends preprocessed
+        # polynomials), so it draws from the caller's rng directly.
+        rng.randrange(modulus)  # repro: allow[RPR002]
+        for _ in range(threshold)
     ]
     return [
         Share(x=i, y=_evaluate(coefficients, i, modulus)) for i in range(1, parties + 1)

@@ -9,8 +9,8 @@ path relies on to reject malformed puzzles.
 
 from __future__ import annotations
 
-import hmac
 import hashlib
+import hmac
 import secrets
 from dataclasses import dataclass
 
@@ -43,9 +43,13 @@ def ske_gen(rng=None) -> SymmetricKey:
         rng: Optional ``random.Random`` for deterministic tests; defaults
             to the OS CSPRNG.
     """
+    # SKE keys are not preprocessed material (only Schnorr nonces and
+    # Feldman polynomials are pooled), so key sampling stays outside the
+    # RandomnessSource seam: OS entropy in production, caller rng in
+    # deterministic tests.
     if rng is None:
-        return SymmetricKey(secrets.token_bytes(KEY_SIZE))
-    return SymmetricKey(rng.getrandbits(8 * KEY_SIZE).to_bytes(KEY_SIZE, "big"))
+        return SymmetricKey(secrets.token_bytes(KEY_SIZE))  # repro: allow[RPR002]
+    return SymmetricKey(rng.getrandbits(8 * KEY_SIZE).to_bytes(KEY_SIZE, "big"))  # repro: allow[RPR002]
 
 
 def _keystream(key: SymmetricKey, nonce: bytes, length: int) -> bytes:
@@ -62,10 +66,12 @@ def ske_encrypt(key: SymmetricKey, plaintext: bytes, rng=None) -> bytes:
     Layout: ``nonce || body || tag`` where ``body = plaintext XOR stream``
     and ``tag = HMAC(key, nonce || body)``.
     """
+    # Like ske_keygen: SKE nonces are not pooled material, so they are
+    # sampled outside the RandomnessSource seam.
     if rng is None:
-        nonce = secrets.token_bytes(NONCE_SIZE)
+        nonce = secrets.token_bytes(NONCE_SIZE)  # repro: allow[RPR002]
     else:
-        nonce = rng.getrandbits(8 * NONCE_SIZE).to_bytes(NONCE_SIZE, "big")
+        nonce = rng.getrandbits(8 * NONCE_SIZE).to_bytes(NONCE_SIZE, "big")  # repro: allow[RPR002]
     body = xor_bytes(plaintext, _keystream(key, nonce, len(plaintext)))
     tag = _mac(key, nonce + body)
     return nonce + body + tag

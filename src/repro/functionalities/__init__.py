@@ -23,17 +23,17 @@ Module                    Paper object
 ========================  ==============================================
 """
 
-from repro.functionalities.random_oracle import RandomOracle
-from repro.functionalities.wrapper import QueryWrapper
 from repro.functionalities.certification import Certification, RealCertification
-from repro.functionalities.rbc import RelaxedBroadcast
-from repro.functionalities.ubc import UnfairBroadcast
-from repro.functionalities.fbc import FairBroadcast
-from repro.functionalities.tle import TimeLockEncryption
-from repro.functionalities.sbc import SimultaneousBroadcast
 from repro.functionalities.durs import DelayedURS
-from repro.functionalities.voting import VotingSystem
+from repro.functionalities.fbc import FairBroadcast
 from repro.functionalities.keygen import AuthorityKeyGen, VoterKeyGen
+from repro.functionalities.random_oracle import RandomOracle
+from repro.functionalities.rbc import RelaxedBroadcast
+from repro.functionalities.sbc import SimultaneousBroadcast
+from repro.functionalities.tle import TimeLockEncryption
+from repro.functionalities.ubc import UnfairBroadcast
+from repro.functionalities.voting import VotingSystem
+from repro.functionalities.wrapper import QueryWrapper
 
 __all__ = [
     "AuthorityKeyGen",

@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.crypto.elgamal import elgamal_keygen
-from repro.crypto.groups import SchnorrGroup, TEST_GROUP
+from repro.crypto.groups import TEST_GROUP, SchnorrGroup
 from repro.uc.entity import Functionality
 
 if TYPE_CHECKING:  # pragma: no cover - typing only

@@ -26,11 +26,11 @@ world of Corollary 1 is assembled.
 from repro.protocols.common import pad_message, unpad_message
 from repro.protocols.dolev_strong import DolevStrongParty, make_dolev_strong_instance
 from repro.protocols.ds_ubc import DolevStrongUBCAdapter
-from repro.protocols.ubc_protocol import UBCProtocolAdapter
-from repro.protocols.fbc_protocol import FBCProtocolAdapter
-from repro.protocols.tle_protocol import TLEProtocolAdapter
-from repro.protocols.sbc_protocol import SBCParty, SBCProtocolAdapter
 from repro.protocols.durs_protocol import DURSParty, make_durs_network
+from repro.protocols.fbc_protocol import FBCProtocolAdapter
+from repro.protocols.sbc_protocol import SBCParty, SBCProtocolAdapter
+from repro.protocols.tle_protocol import TLEProtocolAdapter
+from repro.protocols.ubc_protocol import UBCProtocolAdapter
 from repro.protocols.voting_protocol import AuthorityParty, Election, VoterParty
 
 __all__ = [

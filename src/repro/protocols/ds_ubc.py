@@ -18,7 +18,7 @@ started before ``t_end`` still land before ``τ_rel`` (exercised in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Tuple
 
 from repro.functionalities.certification import Certification
 from repro.functionalities.network import SyncNetwork

@@ -14,39 +14,15 @@ from __future__ import annotations
 import hashlib
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.runtime.backend import ExecutionBackend, get_backend
 
-
-def canonical_detail(obj: Any) -> str:
-    """Canonical, cross-process-stable rendering of an event detail.
-
-    ``repr`` is not canonical for dicts (insertion-ordered) or sets
-    (iteration order depends on ``PYTHONHASHSEED``), so hashing it could
-    make byte-identical executions digest differently across processes.
-    This serializer renders dicts/sets with sorted entries and everything
-    else exactly as ``repr`` does — so digests over the historical
-    int/bytes/str/tuple details are unchanged (the golden digests in
-    ``tests/test_runtime.py`` still hold).
-    """
-    if isinstance(obj, tuple):
-        inner = ", ".join(canonical_detail(item) for item in obj)
-        return f"({inner},)" if len(obj) == 1 else f"({inner})"
-    if isinstance(obj, list):
-        return "[" + ", ".join(canonical_detail(item) for item in obj) + "]"
-    if isinstance(obj, dict):
-        items = sorted(
-            (canonical_detail(key), canonical_detail(value))
-            for key, value in obj.items()
-        )
-        return "{" + ", ".join(f"{key}: {value}" for key, value in items) + "}"
-    if isinstance(obj, frozenset):
-        return "frozenset(" + canonical_detail(set(obj)) + ")" if obj else "frozenset()"
-    if isinstance(obj, set):
-        return "{" + ", ".join(sorted(canonical_detail(item) for item in obj)) + "}" if obj else "set()"
-    return repr(obj)
+# canonical_detail moved next to the Event type it renders; re-exported
+# here (and from repro.runtime) for the existing import surface.
+from repro.uc.trace import canonical_detail
 
 
 def trace_digest(log) -> str:
@@ -736,8 +712,16 @@ class SessionPool:
                 feldman_high=feldman_reach,
                 material_seed=plan.material_seed,
             )
-        except OSError:
-            pass  # advisory bookkeeping must never fail a finished sweep
+        except OSError as exc:
+            # Advisory bookkeeping must never fail a finished sweep — but
+            # a ledger that silently stops advancing breaks the next
+            # consume-forward run's disjointness, so say it degraded.
+            warnings.warn(
+                f"could not record online spend in the material ledger ({exc}); "
+                "the next consume-forward sweep may re-spend these pool slices",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return totals
 
     def _call_kwargs(self) -> Dict[str, Any]:

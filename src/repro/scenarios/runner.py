@@ -23,7 +23,6 @@ from repro.scenarios.faults import FaultPlan
 from repro.scenarios.properties import PropertyResult, evaluate
 from repro.scenarios.spec import (
     ScenarioSpec,
-    default_matrix,
     expected_for,
     payload_for,
 )

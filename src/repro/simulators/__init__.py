@@ -19,7 +19,7 @@ worth executing rather than just reading:
   TLE's semantic security.
 """
 
-from repro.simulators.ubc import UBCSimulator
 from repro.simulators.sbc import EquivocationAbort, SBCEquivocator
+from repro.simulators.ubc import UBCSimulator
 
 __all__ = ["EquivocationAbort", "SBCEquivocator", "UBCSimulator"]

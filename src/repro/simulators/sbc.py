@@ -18,7 +18,7 @@ the TLE.  :class:`SBCEquivocator` implements exactly this bookkeeping.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from repro.crypto.hashing import DIGEST_SIZE, xor_bytes
 from repro.functionalities.random_oracle import ProgrammingConflict, RandomOracle

@@ -28,19 +28,19 @@ Key concepts
   delivery, activation order, clock ticks.
 """
 
+from repro.uc.adversary import Adversary, PassiveAdversary
 from repro.uc.clock import GlobalClock
 from repro.uc.entity import Entity, Functionality, Party
-from repro.uc.adversary import Adversary, PassiveAdversary
 from repro.uc.environment import Environment
-from repro.uc.metrics import Metrics
-from repro.uc.session import Session
-from repro.uc.trace import Event, EventLog
 from repro.uc.errors import (
     CorruptionError,
     ResourceExhausted,
     UCError,
     UnknownEntity,
 )
+from repro.uc.metrics import Metrics
+from repro.uc.session import Session
+from repro.uc.trace import Event, EventLog
 
 __all__ = [
     "Adversary",

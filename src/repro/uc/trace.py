@@ -15,6 +15,35 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, List, Optional
 
 
+def canonical_detail(obj: Any) -> str:
+    """Canonical, cross-process-stable rendering of an event detail.
+
+    ``repr`` is not canonical for dicts (insertion-ordered) or sets
+    (iteration order depends on ``PYTHONHASHSEED``), so hashing it could
+    make byte-identical executions digest differently across processes.
+    This serializer renders dicts/sets with sorted entries and everything
+    else exactly as ``repr`` does — so digests over the historical
+    int/bytes/str/tuple details are unchanged (the golden digests in
+    ``tests/test_runtime.py`` still hold).
+    """
+    if isinstance(obj, tuple):
+        inner = ", ".join(canonical_detail(item) for item in obj)
+        return f"({inner},)" if len(obj) == 1 else f"({inner})"
+    if isinstance(obj, list):
+        return "[" + ", ".join(canonical_detail(item) for item in obj) + "]"
+    if isinstance(obj, dict):
+        items = sorted(
+            (canonical_detail(key), canonical_detail(value))
+            for key, value in obj.items()
+        )
+        return "{" + ", ".join(f"{key}: {value}" for key, value in items) + "}"
+    if isinstance(obj, frozenset):
+        return "frozenset(" + canonical_detail(set(obj)) + ")" if obj else "frozenset()"
+    if isinstance(obj, set):
+        return "{" + ", ".join(sorted(canonical_detail(item) for item in obj)) + "}" if obj else "set()"
+    return repr(obj)
+
+
 @dataclass(frozen=True)
 class Event:
     """One recorded occurrence inside a UC execution.
@@ -78,18 +107,22 @@ class EventLog:
     def first_containing(
         self, needle: bytes, kind: Optional[str] = None
     ) -> Optional[Event]:
-        """Earliest event whose detail repr contains ``needle``.
+        """Earliest event whose detail rendering contains ``needle``.
 
-        The repr-containment convention matches the secrecy assertions
-        used throughout the test suite: a payload counts as exposed by an
+        The containment convention matches the secrecy assertions used
+        throughout the test suite: a payload counts as exposed by an
         event iff its bytes appear verbatim in the event's detail
-        rendering.  Returns ``None`` when no event matches.
+        rendering.  Details are rendered via :func:`canonical_detail`
+        (RPR001: plain ``repr`` of a dict/set detail is not stable across
+        processes, so an exposure assertion could flip with the hash
+        seed).  Returns ``None`` when no event matches.
         """
-        text = repr(needle)[2:-1].encode()  # b'scn:P0' -> scn:P0, escapes kept
+        # b'scn:P0' -> scn:P0, escapes kept; bytes repr is deterministic.
+        text = repr(needle)[2:-1].encode()
         for event in self.events:
             if kind is not None and event.kind != kind:
                 continue
-            if text and text in repr(event.detail).encode():
+            if text and text in canonical_detail(event.detail).encode():
                 return event
         return None
 

@@ -103,7 +103,6 @@ def test_corrupted_sender_state_exposed_but_no_early_plaintexts():
     exposed = [m for _rho, m in adversary.exposed_pending]
     assert exposed in ([b"p1-own-message"], [])
     # ...but nothing in its whole view reveals P0's plaintext early:
-    release = stack.phi + stack.delta
     # (outputs exist only at the release round, checked by other tests;
     #  here we scan the leak stream)
     for _fid, detail in adversary.observed:

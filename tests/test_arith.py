@@ -11,7 +11,6 @@ material blobs and trace digests byte-identical across backends.
 from __future__ import annotations
 
 import pickle
-import warnings
 
 import pytest
 

@@ -62,7 +62,7 @@ def test_output_probe_collects_all_tags():
     probe = OutputRequestProbe()
     session = Session(seed=2, adversary=probe)
     fbc = FairBroadcast(session, delta=3, alpha=2)
-    parties = {
+    _parties = {
         f"P{i}": DummyBroadcastParty(session, f"P{i}", fbc) for i in range(2)
     }
     env = Environment(session)
@@ -94,7 +94,7 @@ def test_locked_replace_ignores_other_senders():
     attack = LockedReplaceAttack(victim="P0", replacement=b"evil")
     session = Session(seed=6, adversary=attack)
     fbc = FairBroadcast(session, delta=2, alpha=1)
-    parties = {
+    _parties = {
         f"P{i}": DummyBroadcastParty(session, f"P{i}", fbc) for i in range(3)
     }
     env = Environment(session)

@@ -37,13 +37,11 @@ from repro.crypto.schnorr import (
     schnorr_batch_item,
     schnorr_keygen,
     schnorr_sign,
-    schnorr_verify,
 )
 from repro.crypto.zkp import (
     BallotProof,
     ballot_batch_item,
     ballot_prove,
-    ballot_verify,
     cp_batch_item,
     cp_prove,
     pok_batch_item,

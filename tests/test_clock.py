@@ -4,7 +4,6 @@ import pytest
 
 from repro.uc.entity import Party
 from repro.uc.errors import CorruptionError, UnknownEntity
-from repro.uc.session import Session
 
 
 def _parties(session, n):

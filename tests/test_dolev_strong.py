@@ -4,7 +4,6 @@ import pytest
 
 from repro.protocols.dolev_strong import (
     BOTTOM,
-    DolevStrongParty,
     make_dolev_strong_instance,
 )
 from repro.uc.adversary import Adversary

@@ -1,6 +1,5 @@
 """UBC over real Dolev–Strong runs: signatures down to the network layer."""
 
-import pytest
 
 from repro.core.stacks import MSG_LEN_SBC
 from repro.functionalities.random_oracle import RandomOracle

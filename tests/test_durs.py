@@ -6,8 +6,8 @@ from repro.analysis.stats import bit_bias
 from repro.attacks.bias import BiasingContributor
 from repro.baselines.naive_beacon import build_naive_beacon
 from repro.core import build_durs_stack
-from repro.functionalities.durs import URS_LEN, DelayedURS
 from repro.functionalities.dummy import DummyURSParty
+from repro.functionalities.durs import URS_LEN, DelayedURS
 from repro.uc.environment import Environment
 from repro.uc.session import Session
 

@@ -186,7 +186,6 @@ def test_real_replayed_ciphertext_ignored():
     class Replayer:
         pass
 
-    original_on_ubc = fixture.fbc._on_ubc
 
     env.run_round([("P0", broadcast_action(b"m"))])
     # capture the UBC leak carrying (c, y) and re-broadcast it verbatim

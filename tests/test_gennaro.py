@@ -92,13 +92,12 @@ def test_same_n_over_2_cliff_as_hevia():
         coalition = [f"P{i}" for i in range(n - coalition_size, n)]
         attack = HeviaCoalitionAttack(coalition, copier=None)
         session = Session(seed=6, adversary=attack)
-        net = GennaroSBCNetwork.build(session, n=n)
+        _net = GennaroSBCNetwork.build(session, n=n)
         env = Environment(session)
 
         # Adapt the Hevia attack's share hoovering to the Gen00 wire tag.
         collected = {}
 
-        original_on_leak = attack.on_leak
 
         def on_leak(source, detail, _collected=collected, _attack=attack):
             if (
@@ -122,7 +121,7 @@ def test_same_n_over_2_cliff_as_hevia():
         env.run_round([("P0", lambda p: p.broadcast(b"secret-commit"))])
         threshold = (n - 1) // 2
         reconstructed = False
-        for committer, points in collected.items():
+        for _committer, points in collected.items():
             if len(points) >= threshold + 1:
                 from repro.baselines.hevia import scalar_to_message
                 from repro.crypto.groups import TEST_GROUP

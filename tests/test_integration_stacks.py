@@ -39,7 +39,6 @@ def test_sbc_three_worlds_agree_across_seeds(seed):
 )
 def test_sbc_outputs_independent_of_activation_order(order):
     """The adversary schedules activations; outputs must not move."""
-    baselines = None
     for mode in ("hybrid", "composed"):
         stack = build_sbc_stack(n=4, mode=mode, seed=5)
         stack.env.order = order

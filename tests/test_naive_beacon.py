@@ -1,6 +1,6 @@
 """The naive commit-in-the-clear beacon baseline."""
 
-from repro.baselines.naive_beacon import NaiveBeaconParty, build_naive_beacon
+from repro.baselines.naive_beacon import build_naive_beacon
 from repro.functionalities.durs import URS_LEN
 from repro.uc.environment import Environment
 from repro.uc.session import Session

@@ -1,10 +1,10 @@
 """SyncNetwork: next-round delivery, metadata-only leaks, injection."""
 
+import pytest
+
 from repro.functionalities.network import SyncNetwork
 from repro.uc.entity import Party
 from repro.uc.errors import CorruptionError
-
-import pytest
 
 
 class Receiver(Party):

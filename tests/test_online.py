@@ -277,7 +277,6 @@ def test_online_spend_event_recorded_in_trace(store):
     from repro.runtime import warm_with_material
 
     warm_with_material("disk")
-    result_events = []
     from repro.runtime.pool import run_voting_trial as trial
 
     result = trial(5, voters=3, online=plan, trace="full", backend="sequential")

@@ -10,7 +10,6 @@ the functionality promises no matter what the adversary does:
   is in every honest batch.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.functionalities.cert_adapter import SignerCert, real_cert_suite
+from repro.functionalities.cert_adapter import real_cert_suite
 from repro.protocols.dolev_strong import BOTTOM, make_dolev_strong_instance
 from repro.uc.environment import Environment
 from repro.uc.errors import CorruptionError

@@ -11,7 +11,6 @@ never takes a sweep down.
 """
 
 import math
-import warnings
 
 import pytest
 

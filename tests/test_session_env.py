@@ -72,7 +72,7 @@ def test_static_corruptor():
 
 def test_environment_skips_corrupted_inputs():
     session = Session(seed=0)
-    party = Party(session, "P0")
+    Party(session, "P0")
     Party(session, "P1")
     session.corrupt("P0")
     env = Environment(session)

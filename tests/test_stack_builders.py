@@ -98,5 +98,4 @@ def test_seed_determinism_across_builds():
         stack.parties["P0"].broadcast(b"det")
         stack.run_until_delivery()
         batches.append(str(stack.delivered()))
-        traces = len(stack.session.log)
     assert batches[0] == batches[1]

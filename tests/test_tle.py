@@ -8,13 +8,13 @@ cross-party decryption that ΠSBC depends on.
 import pytest
 
 from repro.core import build_tle_stack
+from repro.functionalities.dummy import DummyTLEParty
 from repro.functionalities.tle import (
     BOTTOM,
     INVALID_TIME,
     MORE_TIME,
     TimeLockEncryption,
 )
-from repro.functionalities.dummy import DummyTLEParty
 from repro.uc.environment import Environment
 from repro.uc.session import Session
 

@@ -1,13 +1,11 @@
 """FTLE's simulator-facing Update interfaces and property-based roundtrips."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import build_tle_stack
 from repro.functionalities.dummy import DummyTLEParty
 from repro.functionalities.tle import TimeLockEncryption
-from repro.uc.environment import Environment
 from repro.uc.session import Session
 
 

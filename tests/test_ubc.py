@@ -7,7 +7,7 @@ from repro.attacks.rushing import UBCCopyAttack
 from repro.functionalities.dummy import DummyBroadcastParty
 from repro.functionalities.ubc import UnfairBroadcast
 from repro.protocols.ubc_protocol import UBCProtocolAdapter
-from repro.uc.adversary import Adversary
+from repro.uc.entity import CorruptionError
 from repro.uc.environment import Environment
 from repro.uc.session import Session
 
@@ -58,7 +58,6 @@ def test_agreement(real):
 @pytest.mark.parametrize("real", [False, True])
 def test_ideal_real_outputs_identical(real):
     """The executable content of Lemma 1: same script, same outputs."""
-    reference = None
     session, _service, parties, env = _world(real, seed=42)
     env.run_round([("P0", broadcast_action(b"a")), ("P2", broadcast_action(b"b"))])
     env.run_round([("P1", broadcast_action(b"c"))])
@@ -109,7 +108,7 @@ def test_copy_attack_succeeds_on_ubc(real):
 
 def test_adv_broadcast_requires_corruption():
     session, service, parties, _env = _world(False)
-    with pytest.raises(Exception):
+    with pytest.raises(CorruptionError):
         service.adv_broadcast("P0", b"x")
 
 

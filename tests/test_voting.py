@@ -3,10 +3,9 @@
 import pytest
 
 from repro.core import build_voting_stack
-from repro.crypto.zkp import BallotProof
+from repro.crypto.groups import TEST_GROUP
 from repro.functionalities.voting import VotingSystem, plurality_tally
 from repro.protocols.voting_protocol import Election, decrypt_share, encrypt_share
-from repro.crypto.groups import TEST_GROUP
 from repro.uc.environment import Environment
 from repro.uc.session import Session
 

@@ -1,9 +1,7 @@
 """Adversarial voters and authorities: every rejection path of ΠSTVS."""
 
-import pytest
 
 from repro.core import build_voting_stack
-from repro.crypto.groups import TEST_GROUP
 from repro.crypto.zkp import ballot_prove
 from repro.uc.encoding import encode
 

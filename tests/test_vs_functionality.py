@@ -4,6 +4,7 @@ import pytest
 
 from repro.functionalities.dummy import DummyVoterParty
 from repro.functionalities.voting import VotingSystem
+from repro.uc.entity import CorruptionError
 from repro.uc.environment import Environment
 from repro.uc.session import Session
 
@@ -28,7 +29,7 @@ def test_votes_before_init_ignored():
 def test_adv_vote_requires_corruption():
     session, vs, voters, env = _world()
     vs.init()
-    with pytest.raises(Exception):
+    with pytest.raises(CorruptionError):
         vs.adv_vote("V0", "a")
     session.corrupt("V0")
     assert vs.adv_vote("V0", "a") is not None
