@@ -53,6 +53,13 @@ MATERIAL_SOURCE_REQUIRED = ("E17", "E18", "E19")
 #: preprocessed pools (the offline/online mode axis).
 ONLINE_REQUIRED = ("E19",)
 
+#: Experiments that run under the supervised process fan-out; their
+#: records must carry the degradation counters (``retries``,
+#: ``respawns``, ``quarantined``) so a reference-perf run that silently
+#: limped through retries can't pass as healthy.
+SUPERVISED_REQUIRED = ("E17",)
+SUPERVISION_COUNTERS = ("retries", "respawns", "quarantined")
+
 
 def bench_record(
     experiment: str,
@@ -99,6 +106,14 @@ def bench_record(
             f"{experiment} records must state online=True/False; "
             "see ONLINE_REQUIRED"
         )
+    if experiment in SUPERVISED_REQUIRED:
+        missing = [key for key in SUPERVISION_COUNTERS if key not in extra]
+        if missing:
+            raise ValueError(
+                f"{experiment} records must carry the supervision counters "
+                f"{SUPERVISION_COUNTERS} (missing {missing}); "
+                "see SUPERVISED_REQUIRED"
+            )
     if wall_time_s is None:
         wall_time_s = _LAST_ONCE_S
     record: Dict[str, Any] = {

@@ -1,4 +1,4 @@
-"""The shipped rules: RPR001–RPR006, each grounded in a past bug.
+"""The shipped rules: RPR001–RPR007, each grounded in a past bug.
 
 Every rule documents the invariant it encodes and the incident that
 motivated it; ARCHITECTURE.md cross-references them.  Rules are
@@ -21,6 +21,7 @@ __all__ = [
     "PickleSafetyRule",
     "RandomnessSeamRule",
     "WorkerDegradationRule",
+    "WorkerSupervisionRule",
 ]
 
 
@@ -541,3 +542,84 @@ class PickleSafetyRule(Rule):
                 f"locally-defined function {arg.id!r} passed to {where}; local "
                 "defs do not pickle — hoist it to module level",
             )
+
+
+@register_rule
+class WorkerSupervisionRule(Rule):
+    """RPR007 — no unbounded blocking waits on worker machinery.
+
+    Motivated by this PR's tentpole: the old ``pool.map`` fan-out had no
+    per-task timeout, so one SIGKILL-ed or hung worker stalled the whole
+    sweep forever and discarded every finished result.  In ``runtime/``,
+    waiting on pools, executors, workers or async results must be
+    bounded (``.get(timeout=...)``, ``.join(timeout)``) or go through
+    the :class:`~repro.runtime.supervisor.Supervisor`; the few sites
+    where an unbounded wait is provably safe (thread executors,
+    post-``terminate()`` reaping) carry ``# repro: allow[RPR007]``.
+    """
+
+    id = "RPR007"
+    name = "worker-supervision"
+    invariant = (
+        "runtime/ never blocks unboundedly on worker machinery: pool/"
+        "executor .map goes through the Supervisor, .get()/.join() carry "
+        "a timeout"
+    )
+    paths = ("runtime/*.py",)
+
+    #: Blocking fan-out methods on a pool/executor receiver — these hold
+    #: the caller until *every* task returns, with no timeout parameter
+    #: at all, so a single lost worker is unrecoverable.
+    BLOCKING_MAPS = {"map", "imap", "imap_unordered", "starmap", "map_async"}
+    #: Receiver name fragments that identify worker machinery (matched
+    #: case-insensitively against the dotted receiver name) — scoping to
+    #: these keeps dict-like ``.map``-free objects out of scope.
+    WORKER_RECEIVERS = ("pool", "executor", "worker", "process", "thread", "result")
+
+    def check(self, ctx: LintContext) -> Iterator:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not isinstance(
+                node.func, ast.Attribute
+            ):
+                continue
+            method = node.func.attr
+            has_timeout = any(kw.arg == "timeout" for kw in node.keywords)
+            if method in self.BLOCKING_MAPS and self._worker_receiver(node.func.value):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f".{method}() blocks until every task returns — one dead "
+                    "worker stalls the sweep forever; dispatch chunks through "
+                    "the Supervisor (apply_async + bounded get) instead",
+                )
+            elif method == "get" and not node.args and not node.keywords:
+                # dict/env .get always takes a key argument, so a zero-arg
+                # .get() is an AsyncResult/queue wait — and unbounded.
+                yield ctx.finding(
+                    self,
+                    node,
+                    ".get() without a timeout waits forever on a result a dead "
+                    "worker will never deliver; pass timeout=",
+                )
+            elif (
+                method == "join"
+                and not node.args
+                and not has_timeout
+                and self._worker_receiver(node.func.value)
+            ):
+                # str.join takes its iterable argument, so a zero-arg
+                # .join() on worker machinery is a blocking reap.
+                yield ctx.finding(
+                    self,
+                    node,
+                    ".join() without a timeout can hang on a wedged worker; "
+                    "pass a timeout (and check is_alive() after) or "
+                    "terminate() first",
+                )
+
+    def _worker_receiver(self, node: ast.AST) -> bool:
+        name = dotted_name(node)
+        if name is None:
+            return False
+        lowered = name.lower()
+        return any(fragment in lowered for fragment in self.WORKER_RECEIVERS)

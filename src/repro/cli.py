@@ -215,6 +215,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if not args.json:
             print("--verify compares trace digests: forcing --trace full")
         trace = "full"
+    retry = deadline = chaos = None
+    if args.retry_attempts is not None:
+        from repro.runtime import RetryPolicy
+
+        retry = RetryPolicy(max_attempts=args.retry_attempts)
+    if args.deadline_cap_s is not None:
+        from repro.runtime import DeadlinePolicy
+
+        deadline = DeadlinePolicy(
+            floor_s=min(args.deadline_cap_s, 60.0), cap_s=args.deadline_cap_s
+        )
+    if args.chaos is not None:
+        from repro.runtime import ChaosPlan
+
+        try:
+            chaos = ChaosPlan.parse(args.chaos, hang_s=args.chaos_hang_s)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     try:
         sweep = ParallelSweep(
             runner=runner,
@@ -229,6 +248,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             online=args.online,
             consume_forward=args.consume_forward,
             batch_verify=args.batch_verify,
+            retry=retry,
+            deadline=deadline,
+            chaos=chaos,
+            journal=args.journal,
+            resume=args.resume,
             trace=trace,
             **params,
         )
@@ -252,10 +276,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             title=f"sweep plan: {args.sessions} x {args.workload} ({args.mode})",
         ))
     try:
-        if args.verify:
-            verdict = sweep.verify(seeds)
-        else:
-            report = sweep.run(seeds)
+        try:
+            if args.verify:
+                verdict = sweep.verify(seeds)
+            else:
+                report = sweep.run(seeds)
+        except (FileNotFoundError, ValueError) as exc:
+            # A missing/mismatched resume journal is an operator error,
+            # not a crash: report it the same way bad flags are.
+            print(str(exc), file=sys.stderr)
+            return 2
     finally:
         if watch is not None:
             watch.stop()
@@ -670,6 +700,41 @@ def build_parser() -> argparse.ArgumentParser:
              "--online)",
     )
     p.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="record each completed chunk to a crash-safe JSONL journal "
+             "so a killed sweep can pick up where it left off",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="restore completed chunks from --journal instead of "
+             "re-running them (the journaled online plan is replayed "
+             "verbatim, so no material is double-spent)",
+    )
+    p.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="inject worker faults for resilience testing: "
+             "comma-separated kind@task[:repeat] with kind in "
+             "kill/exc/hang and ':*' for every dispatch "
+             "(e.g. 'kill@3,exc@7:2'); recovery keeps the sweep "
+             "digest-equal, so combine with --verify",
+    )
+    p.add_argument(
+        "--chaos-hang-s", type=float, default=30.0,
+        help="how long an injected 'hang' fault sleeps (default: 30)",
+    )
+    p.add_argument(
+        "--retry-attempts", type=int, default=None,
+        help="max attempts per chunk before bisecting to the poison "
+             "task (default: 3)",
+    )
+    p.add_argument(
+        "--deadline-cap-s", type=float, default=None,
+        help="hard upper bound on the per-chunk deadline in seconds: a "
+             "chunk silent that long gets its pool respawned and is "
+             "retried (default: none — the EWMA-derived deadline rules; "
+             "set a few seconds to exercise hang recovery)",
+    )
+    p.add_argument(
         "--json", action="store_true",
         help="emit the resolved plan (with adaptivity trace) and report "
              "as JSON instead of tables",
@@ -736,7 +801,7 @@ def build_parser() -> argparse.ArgumentParser:
     # put global flags first (`repro --arith python lint ...`).
     p = sub.add_parser(
         "lint",
-        help="AST invariant linter (RPR001-RPR006); exits non-zero on findings",
+        help="AST invariant linter (RPR001-RPR007); exits non-zero on findings",
     )
     p.add_argument("args", nargs=argparse.REMAINDER,
                    help="arguments forwarded to the linter (see `repro lint --help`)")

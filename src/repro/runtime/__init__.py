@@ -16,7 +16,12 @@ the clock — :mod:`repro.uc`) from *how* an execution is driven:
   crypto warm-up;
 * :class:`~repro.runtime.sweep.ParallelSweep` — the multi-core sweep
   driver: plans worker/chunk shape for any ``(runner, task list)``
-  workload and verifies digest equality against the inline reference.
+  workload and verifies digest equality against the inline reference;
+* :class:`~repro.runtime.supervisor.Supervisor` — the fault-tolerant
+  process fan-out underneath it: per-chunk deadlines, deterministic
+  retry/backoff, pool respawn on dead workers, poison-task quarantine,
+  the crash-safe :class:`~repro.runtime.supervisor.SweepJournal` and
+  the :class:`~repro.runtime.supervisor.ChaosPlan` fault harness.
 
 The ``sequential`` backend is the default everywhere and reproduces the
 pre-runtime engine byte-for-byte (same seed, same trace).
@@ -74,12 +79,28 @@ from repro.runtime.pool import (
     trace_digest,
 )
 from repro.runtime.scheduler import BatchScheduler
+from repro.runtime.supervisor import (
+    CHAOS_FOREVER,
+    ChaosFault,
+    ChaosInjected,
+    ChaosPlan,
+    DeadlinePolicy,
+    RetryPolicy,
+    Supervisor,
+    SupervisorStats,
+    SweepJournal,
+)
 from repro.runtime.sweep import ParallelSweep, SweepPlan, SweepVerification
 
 __all__ = [
     "BATCHED",
     "BatchScheduler",
     "BatchedRoundDriver",
+    "CHAOS_FOREVER",
+    "ChaosFault",
+    "ChaosInjected",
+    "ChaosPlan",
+    "DeadlinePolicy",
     "ExecutionBackend",
     "MATERIAL_SOURCES",
     "MaterialCursor",
@@ -90,11 +111,15 @@ __all__ = [
     "ParallelSweep",
     "PoolReport",
     "Replenisher",
+    "RetryPolicy",
     "RoundDriver",
     "SEQUENTIAL",
     "SequentialRoundDriver",
     "SessionPool",
     "SpendLedger",
+    "Supervisor",
+    "SupervisorStats",
+    "SweepJournal",
     "SweepPlan",
     "SweepVerification",
     "TraceDigestUnavailable",

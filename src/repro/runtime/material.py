@@ -1427,17 +1427,35 @@ class ReplenishWatch:
     _stop: threading.Event
     _thread: threading.Thread
 
-    def stop(self, timeout: Optional[float] = 5.0) -> None:
-        """Stop the watcher and run one final poll.
+    def stop(self, timeout: Optional[float] = 5.0) -> bool:
+        """Stop the watcher; returns True if the thread leaked.
 
         The final poll is what catches a sweep whose ledger write landed
         after the last timed tick — ``repro sweep --replenish`` relies
         on it so a watermark crossed *by* the sweep is acted on before
         the process exits.
+
+        ``join(timeout)`` returns regardless of whether the thread
+        actually exited, so liveness is re-checked afterwards: a thread
+        stuck in a poll (e.g. a hung filesystem) is reported with a
+        :class:`RuntimeWarning` and by the ``True`` return value, and
+        the final poll is *skipped* — the stuck thread may be holding
+        the replenisher mid-operation, and a second concurrent poll
+        would race it.
         """
         self._stop.set()
         self._thread.join(timeout)
+        if self._thread.is_alive():
+            warnings.warn(
+                f"replenisher watch thread did not stop within {timeout}s; "
+                "leaking the daemon thread (a poll may be stuck on ledger "
+                "or store I/O) and skipping the final poll",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return True
         self.replenisher.poll()
+        return False
 
     @property
     def alive(self) -> bool:

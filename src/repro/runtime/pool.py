@@ -335,6 +335,15 @@ class PoolReport:
     #: so the replay would spend different absolute entries and the
     #: digest check could never pass.  Not part of :meth:`summary`.
     online_plan: Optional[Any] = None
+    #: Degradation counters from the supervised process fan-out
+    #: (retries/respawns/quarantined + events; see
+    #: :class:`~repro.runtime.supervisor.SupervisorStats`).  Always set
+    #: for process runs — zeros are the honest "nothing degraded" —
+    #: and ``None`` for inline/thread executors.
+    supervision: Optional[Dict[str, Any]] = None
+    #: Trials restored from a :class:`~repro.runtime.supervisor.SweepJournal`
+    #: instead of executed (``repro sweep --resume``).
+    resumed: int = 0
 
     @property
     def sessions(self) -> int:
@@ -379,6 +388,15 @@ class PoolReport:
         if self.online_spend is not None:
             record["online"] = True
             record.update(self.online_spend)
+        if self.supervision is not None:
+            # Degradation is part of the honest record: a reference-perf
+            # row that silently retried its way to the finish line is
+            # not comparable to a clean one.
+            record["retries"] = int(self.supervision.get("retries", 0))
+            record["respawns"] = int(self.supervision.get("respawns", 0))
+            record["quarantined"] = int(self.supervision.get("quarantined", 0))
+        if self.resumed:
+            record["resumed"] = self.resumed
         return record
 
 
@@ -561,6 +579,30 @@ class SessionPool:
             ``verify.batch`` trace event.  Not supported on the thread
             executor (interleaved trials would race on the ambient
             policy).
+        retry: :class:`~repro.runtime.supervisor.RetryPolicy` for the
+            supervised process fan-out (default: the stock policy —
+            3 attempts, deterministic exponential backoff).  Process
+            executor only.
+        deadline: :class:`~repro.runtime.supervisor.DeadlinePolicy`
+            bounding each chunk's wait (EWMA task time x factor, with a
+            generous floor so healthy sweeps never trip it).  Process
+            executor only.
+        chaos: Fault-injection schedule for tests/CI — a
+            :class:`~repro.runtime.supervisor.ChaosPlan` or a spec
+            string (``"kill@3,exc@5:*"``).  Faults fire inside workers,
+            so this requires the process executor; retried tasks replay
+            clean, keeping chaos runs digest-equal to undisturbed ones.
+        journal: Path for a crash-safe
+            :class:`~repro.runtime.supervisor.SweepJournal`: each
+            completed chunk is persisted (atomic rewrite), so a killed
+            sweep can resume.  Process executor only.
+        resume: Resume from ``journal`` instead of starting fresh:
+            journaled trials are restored (not re-executed), the
+            journaled :class:`~repro.runtime.material.OnlinePlan` is
+            replayed verbatim (no re-reservation — no double-spend),
+            and only journaled-run spends are *not* re-ledgered.
+            Requires ``journal``; refuses a journal whose recorded
+            configuration differs from this sweep's.
         trace: Optional trace-mode override forwarded to the runner
             (``"light"`` turns the EventLog off for throughput runs).
     """
@@ -580,6 +622,11 @@ class SessionPool:
         online: Any = False,
         consume_forward: bool = False,
         batch_verify: Any = False,
+        retry: Optional[Any] = None,
+        deadline: Optional[Any] = None,
+        chaos: Optional[Any] = None,
+        journal: Optional[Any] = None,
+        resume: bool = False,
         trace: Optional[str] = None,
         **runner_kwargs: Any,
     ) -> None:
@@ -624,6 +671,36 @@ class SessionPool:
                 "batch_verify is not supported on the thread executor "
                 "(interleaved trials would race on the ambient policy)"
             )
+        if isinstance(chaos, str):
+            # Lazy import: supervisor imports this module at top level,
+            # so the reverse edge must stay inside functions.
+            from repro.runtime.supervisor import ChaosPlan
+
+            chaos = ChaosPlan.parse(chaos)
+        self.retry_policy = retry
+        self.deadline_policy = deadline
+        self.chaos_plan = chaos
+        self.journal = journal
+        self.resume = bool(resume)
+        supervised = (
+            retry is not None
+            or deadline is not None
+            or chaos is not None
+            or journal is not None
+            or self.resume
+        )
+        if supervised and executor != "process":
+            raise ValueError(
+                "retry/deadline/chaos/journal/resume configure the "
+                "supervised process fan-out; they need executor='process' "
+                "(chaos faults would kill the coordinator inline, and a "
+                "journal of an unsupervised run could not be trusted)"
+            )
+        if self.resume and journal is None:
+            raise ValueError(
+                "resume restores completed chunks from the sweep journal; "
+                "pass journal=<path> (the file the interrupted run wrote)"
+            )
         self.trace = trace
         self.runner_kwargs = dict(runner_kwargs)
         if self.online:
@@ -664,20 +741,9 @@ class SessionPool:
             seeds, group=group, consume_forward=self.consume_forward
         )
 
-    def _aggregate_online(
-        self, plan: Any, results: Sequence[Any]
-    ) -> Dict[str, int]:
-        """Sum per-trial spend records and ledger them against the store.
-
-        Besides the traffic sums, the ledger gets the *observed reach*:
-        the largest absolute pool index any trial actually consumed
-        through (its reserved range's start plus what it spent).  High
-        marks merge by ``max``, so for consume-forward sweeps this never
-        exceeds the reservation made at plan time, and for classic
-        sweeps it records how deep into the pool slot-0-based plans have
-        actually reached — the number ``inspect`` subtracts to report
-        true remaining capacity.
-        """
+    @staticmethod
+    def _spend_totals(results: Sequence[Any]) -> Tuple[Dict[str, int], int, int]:
+        """Traffic sums plus observed reach over a set of trial results."""
         totals = {
             "nonces_spent": 0,
             "feldman_spent": 0,
@@ -701,13 +767,42 @@ class SessionPool:
                     feldman_reach = max(
                         feldman_reach, int(feldman_range[0]) + spent
                     )
+        return totals, nonce_reach, feldman_reach
+
+    def _aggregate_online(
+        self,
+        plan: Any,
+        results: Sequence[Any],
+        ledgered: Optional[Sequence[Any]] = None,
+    ) -> Dict[str, int]:
+        """Sum per-trial spend records and ledger them against the store.
+
+        Besides the traffic sums, the ledger gets the *observed reach*:
+        the largest absolute pool index any trial actually consumed
+        through (its reserved range's start plus what it spent).  High
+        marks merge by ``max``, so for consume-forward sweeps this never
+        exceeds the reservation made at plan time, and for classic
+        sweeps it records how deep into the pool slot-0-based plans have
+        actually reached — the number ``inspect`` subtracts to report
+        true remaining capacity.
+
+        ``ledgered`` restricts what is *recorded* (not what is summed
+        for the report): a resumed sweep reports totals over every
+        trial, but only its freshly-executed trials may ledger spend —
+        the journaled ones were ledgered by the run that executed them,
+        and re-adding their traffic would double-count it.
+        """
+        totals, _, _ = self._spend_totals(results)
+        recorded, nonce_reach, feldman_reach = self._spend_totals(
+            results if ledgered is None else ledgered
+        )
         try:
             from repro.runtime.material import MaterialStore
 
             MaterialStore().record_spend(
                 plan.fingerprint,
-                nonces=totals["nonces_spent"],
-                feldman=totals["feldman_spent"],
+                nonces=recorded["nonces_spent"],
+                feldman=recorded["feldman_spent"],
                 nonce_high=nonce_reach,
                 feldman_high=feldman_reach,
                 material_seed=plan.material_seed,
@@ -742,50 +837,53 @@ class SessionPool:
         workers: int,
         material_handle: Any = None,
         adaptivity: Optional[List[Dict[str, Any]]] = None,
-    ) -> List[TrialResult]:
-        """Chunked process fan-out; input order preserved.
+        journal: Optional[Any] = None,
+    ) -> Tuple[List[Optional[TrialResult]], Any]:
+        """Supervised chunked process fan-out; input order preserved.
 
-        Worker recycling goes through ``multiprocessing.Pool`` — its
-        ``maxtasksperchild`` is an exact per-worker bound, available on
-        every supported Python, and unlike
+        Every chunk is dispatched via ``apply_async`` under a
+        :class:`~repro.runtime.supervisor.Supervisor` with a bounded
+        per-chunk wait, so a SIGKILL-ed, hung or crashing worker costs
+        a retry (and possibly a pool respawn or a quarantined task),
+        never the sweep.  Worker recycling stays on
+        ``multiprocessing.Pool``'s ``maxtasksperchild`` — an exact
+        per-worker bound, available on every supported Python, unlike
         ``ProcessPoolExecutor(max_tasks_per_child=...)`` (3.11+, and
-        observed to deadlock on recycle in 3.11.7) it restarts workers
-        reliably.  The plain sweep path uses ``ProcessPoolExecutor``.
+        observed to deadlock on recycle in 3.11.7).  The pool counts
+        one ``apply_async`` chunk as one task, so the bound is
+        expressed in chunk units; run() already clamps the chunk size
+        to ``max_tasks_per_child``, and adaptive re-plans only ever
+        shrink chunks under recycling (see ``_replan_chunksize``), so
+        the bound holds for every wave.
+
+        Returns ``(results, stats)``; quarantined tasks appear as
+        ``None`` at their position.
         """
         from repro.crypto.groups import get_arith_backend
+        from repro.runtime.supervisor import Supervisor
 
         initargs = (self.backend, material_handle, get_arith_backend().name)
+        chunks_per_child: Optional[int] = None
         if self.max_tasks_per_child is not None:
-            import multiprocessing
-
-            # Pool counts one *chunk* as one task, so the per-worker bound
-            # must be expressed in chunk units; run() already clamps the
-            # chunk size to max_tasks_per_child, and flooring here keeps
-            # the per-worker trial count at or under the requested bound.
-            # Adaptive re-plans only ever shrink chunks under recycling
-            # (see _replan_chunksize), so the bound holds for every wave.
             chunks_per_child = max(1, self.max_tasks_per_child // chunksize)
-            with multiprocessing.Pool(
-                processes=workers,
-                initializer=_warm_worker if self.warmup else None,
-                initargs=initargs if self.warmup else (),
-                maxtasksperchild=chunks_per_child,
-            ) as pool:
-                return self._drive_map(
-                    lambda tasks, size: pool.map(bound, tasks, chunksize=size),
-                    seeds, chunksize, workers, adaptivity,
-                )
-        import concurrent.futures as futures
-
-        pool_kwargs: Dict[str, Any] = {"max_workers": workers}
-        if self.warmup:
-            pool_kwargs["initializer"] = _warm_worker
-            pool_kwargs["initargs"] = initargs
-        with futures.ProcessPoolExecutor(**pool_kwargs) as pool:
-            return self._drive_map(
-                lambda tasks, size: list(pool.map(bound, tasks, chunksize=size)),
+        supervisor = Supervisor(
+            workers=workers,
+            initializer=_warm_worker if self.warmup else None,
+            initargs=initargs if self.warmup else (),
+            max_chunks_per_child=chunks_per_child,
+            retry=self.retry_policy,
+            deadline=self.deadline_policy,
+            chaos=self.chaos_plan,
+            on_chunk=journal.append_chunk if journal is not None else None,
+        )
+        try:
+            results = self._drive_map(
+                lambda tasks, size: supervisor.map(bound, tasks, size),
                 seeds, chunksize, workers, adaptivity,
             )
+        finally:
+            supervisor.close()
+        return results, supervisor.stats
 
     def _drive_map(
         self,
@@ -840,18 +938,91 @@ class SessionPool:
                 )
         return results
 
+    def _journal_config(self, seeds: Sequence[Any]) -> Dict[str, Any]:
+        """What must match between a journaled run and its resume.
+
+        Anything digest-relevant is pinned (runner, backend, trace,
+        task list, protocol-mode flags, the runner kwargs via a
+        canonical digest); execution-shape knobs (workers, chunksize)
+        are deliberately absent — resuming on a differently-sized box
+        is the point of the journal.
+        """
+        return {
+            "runner": f"{self.runner.__module__}.{self.runner.__qualname__}",
+            "backend": self.backend.name,
+            "trace": self.trace,
+            "online": bool(self.online),
+            "consume_forward": self.consume_forward,
+            "batch_verify": self.batch_policy is not None,
+            "kwargs_digest": hashlib.sha256(
+                canonical_detail(self.runner_kwargs).encode()
+            ).hexdigest(),
+            "tasks": list(seeds),
+        }
+
+    def _journal_open(
+        self, seeds: Sequence[Any]
+    ) -> Tuple[Optional[Any], Dict[Any, TrialResult], Optional[Any], bool]:
+        """Open/resume the sweep journal; resolve the online plan.
+
+        Returns ``(journal, resumed_results, online_plan, planned)``.
+        On resume the journaled plan is reconstructed and replayed
+        verbatim — re-planning would re-read the ledger the original
+        run already advanced (and re-reserve a consume-forward range),
+        a double-spend.  ``planned`` is False exactly then, telling
+        run() the plan was restored, not freshly reserved.
+        """
+        if self.journal is None:
+            return None, {}, self._online_plan(seeds), True
+        from repro.runtime.supervisor import (
+            SweepJournal,
+            plan_from_record,
+            plan_to_record,
+            trial_result_from_record,
+        )
+
+        journal = SweepJournal(self.journal)
+        if not self.resume:
+            online_plan = self._online_plan(seeds)
+            journal.begin(
+                self._journal_config(seeds),
+                plan_to_record(online_plan) if online_plan is not None else None,
+            )
+            return journal, {}, online_plan, True
+        header, records = journal.load()
+        expected = self._journal_config(seeds)
+        if header.get("config") != expected:
+            raise ValueError(
+                f"sweep journal {journal.path} was written by a different "
+                "sweep configuration; resume refused (splicing its results "
+                "into this run would mix workloads)"
+            )
+        plan_record = header.get("plan")
+        online_plan = (
+            plan_from_record(plan_record) if plan_record is not None else None
+        )
+        resumed: Dict[Any, TrialResult] = {}
+        for record in records:
+            for task, payload in zip(record["tasks"], record["results"]):
+                resumed[task] = trial_result_from_record(payload)
+        return journal, resumed, online_plan, False
+
     def run(self, seeds: Iterable[int]) -> PoolReport:
         """Execute one trial per seed; returns the aggregate report.
 
-        Results always come back in seed order, whatever the executor —
-        ``Executor.map`` preserves input order — so seed-for-seed digest
-        comparison against an inline run needs no re-sorting.
+        Results always come back in seed order, whatever the executor,
+        so seed-for-seed digest comparison against an inline run needs
+        no re-sorting.  Under the supervised process executor a
+        quarantined poison task is *omitted* from the results (its
+        identity lands in ``report.supervision["quarantined_tasks"]``)
+        — the honest partial report the sweep completes with instead
+        of crashing.
         """
         from repro.runtime.material import publish_material
 
         seeds = list(seeds)
         kwargs = self._call_kwargs()
-        online_plan = self._online_plan(seeds)
+        journal, resumed, online_plan, _ = self._journal_open(seeds)
         if online_plan is not None:
             kwargs["online"] = online_plan
         if self.batch_policy is not None:
@@ -859,6 +1030,8 @@ class SessionPool:
         used_workers: Optional[int] = None
         used_chunksize: Optional[int] = None
         adaptivity: Optional[List[Dict[str, Any]]] = None
+        supervision: Optional[Dict[str, Any]] = None
+        fresh_results: Optional[List[TrialResult]] = None
         start = time.perf_counter()
         if self.executor == "inline":
             if self.material != "compute" and self.warmup:
@@ -876,6 +1049,9 @@ class SessionPool:
                     self.backend.warm_up(self.material)
                 used_workers = self.workers
                 with futures.ThreadPoolExecutor(max_workers=self.workers) as pool:
+                    # Thread trials run in-process: no worker can be
+                    # OOM-killed or leak, so the unbounded map is the
+                    # honest simple thing.  # repro: allow[RPR007]
                     results = list(pool.map(bound, seeds))
             else:
                 used_workers = resolve_workers(self.workers)
@@ -888,22 +1064,41 @@ class SessionPool:
                     used_chunksize = min(used_chunksize, self.max_tasks_per_child)
                 if self.adaptive:
                     adaptivity = []
-                # No warm-up means no attach: publishing material that no
-                # worker will read would waste the offline build inside
-                # the timed region and misreport the sweep's source.
-                if self.warmup:
-                    handle, release = publish_material(
-                        self.material, groups=self.material_groups
-                    )
+                remaining = [seed for seed in seeds if seed not in resumed]
+                mapped: List[Optional[TrialResult]] = []
+                if remaining:
+                    # No warm-up means no attach: publishing material that
+                    # no worker will read would waste the offline build
+                    # inside the timed region and misreport the source.
+                    if self.warmup:
+                        handle, release = publish_material(
+                            self.material, groups=self.material_groups
+                        )
+                    else:
+                        handle, release = None, lambda: None
+                    try:
+                        mapped, stats = self._process_map(
+                            bound, remaining, used_chunksize, used_workers,
+                            material_handle=handle, adaptivity=adaptivity,
+                            journal=journal,
+                        )
+                    finally:
+                        release()
+                    supervision = stats.to_record()
                 else:
-                    handle, release = None, lambda: None
-                try:
-                    results = self._process_map(
-                        bound, seeds, used_chunksize, used_workers,
-                        material_handle=handle, adaptivity=adaptivity,
-                    )
-                finally:
-                    release()
+                    from repro.runtime.supervisor import SupervisorStats
+
+                    supervision = SupervisorStats().to_record()
+                fresh_results = [result for result in mapped if result is not None]
+                fresh_iter = iter(mapped)
+                results = []
+                for seed in seeds:
+                    if seed in resumed:
+                        results.append(resumed[seed])
+                    else:
+                        result = next(fresh_iter)
+                        if result is not None:
+                            results.append(result)
         elapsed = time.perf_counter() - start
         # Process reports always say where worker caches came from;
         # inline/thread runs only mention material when they attached any,
@@ -914,7 +1109,7 @@ class SessionPool:
         elif self.executor != "process" and self.material == "compute":
             material_source = None
         online_spend = (
-            self._aggregate_online(online_plan, results)
+            self._aggregate_online(online_plan, results, ledgered=fresh_results)
             if online_plan is not None
             else None
         )
@@ -929,6 +1124,8 @@ class SessionPool:
             adaptivity=adaptivity,
             online_spend=online_spend,
             online_plan=online_plan,
+            supervision=supervision,
+            resumed=len(resumed),
         )
 
 

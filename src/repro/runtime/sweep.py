@@ -146,6 +146,21 @@ class ParallelSweep:
             :class:`~repro.crypto.batch.BatchPolicy`, or an explicit
             policy).  ``verify()`` replays the same policy inline, so
             batched sweeps stay seed-for-seed digest-checkable.
+        retry: :class:`~repro.runtime.supervisor.RetryPolicy` for
+            failed/timed-out chunks (process executor; default policy
+            when None).
+        deadline: :class:`~repro.runtime.supervisor.DeadlinePolicy`
+            bounding each chunk's wait (process executor).
+        chaos: :class:`~repro.runtime.supervisor.ChaosPlan` (or its
+            ``parse()`` spec string) injecting worker faults — recovery
+            keeps the report digest-equal, so ``verify()`` checks it.
+        journal: Path for the crash-safe
+            :class:`~repro.runtime.supervisor.SweepJournal` recording
+            each completed chunk.
+        resume: Restore journaled chunks instead of re-running them
+            (requires ``journal``); the journaled
+            :class:`~repro.runtime.material.OnlinePlan` is replayed
+            verbatim, so no material is double-spent.
         trace: Trace-mode override forwarded to the runner.
         runner_kwargs: Extra keyword arguments forwarded to the runner
             (e.g. ``specs=`` for the scenario-cell runner).
@@ -166,6 +181,11 @@ class ParallelSweep:
         online: Any = False,
         consume_forward: bool = False,
         batch_verify: Any = False,
+        retry: Optional[Any] = None,
+        deadline: Optional[Any] = None,
+        chaos: Optional[Any] = None,
+        journal: Optional[Any] = None,
+        resume: bool = False,
         trace: Optional[str] = None,
         **runner_kwargs: Any,
     ) -> None:
@@ -186,6 +206,11 @@ class ParallelSweep:
             online=online,
             consume_forward=consume_forward,
             batch_verify=batch_verify,
+            retry=retry,
+            deadline=deadline,
+            chaos=chaos,
+            journal=journal,
+            resume=resume,
             trace=trace,
             **runner_kwargs,
         )

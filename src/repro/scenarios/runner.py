@@ -592,6 +592,7 @@ def run_matrix(
     online: bool = False,
     consume_forward: bool = False,
     batch_verify: Any = False,
+    chaos: Optional[Any] = None,
 ) -> MatrixReport:
     """Execute every cell through a :class:`ParallelSweep`.
 
@@ -610,6 +611,9 @@ def run_matrix(
     keep sharing slots because the offset is uniform across the plan.
     ``batch_verify`` batches each cell's verification rounds (``True``
     or an explicit :class:`~repro.crypto.batch.BatchPolicy`).
+    ``chaos`` (a :class:`~repro.runtime.supervisor.ChaosPlan` or its
+    spec string, process executor only) injects worker faults by cell
+    index; supervised recovery keeps the matrix digest-equal.
     """
     specs = tuple(specs)
     online_plan: Any = False
@@ -637,6 +641,7 @@ def run_matrix(
         adaptive=adaptive,
         online=online_plan,
         batch_verify=batch_verify,
+        chaos=chaos,
         specs=specs,
     )
     report = sweep.run(range(len(specs)))

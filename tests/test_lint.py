@@ -406,8 +406,9 @@ def test_rpr006_flags_lambda_submission():
         """,
         "runtime/sweep.py",
     )
-    assert rule_ids(findings) == ["RPR006"]
-    assert "lambda" in findings[0].message
+    # The unbounded pool.map itself now also trips RPR007.
+    assert sorted(rule_ids(findings)) == ["RPR006", "RPR007"]
+    assert any("lambda" in finding.message for finding in findings)
 
 
 def test_rpr006_flags_local_def_submission():
@@ -446,7 +447,8 @@ def test_rpr006_negative_module_level_and_partial():
         """,
         "runtime/sweep.py",
     )
-    assert findings == []
+    # RPR007 flags the unbounded pool.map; RPR006 must stay quiet.
+    assert rule_ids(findings) == ["RPR007"]
 
 
 def test_rpr006_negative_thread_target_and_builtin_map():
@@ -481,13 +483,68 @@ def test_rpr006_suppressed():
     findings, suppressed = findings_for(
         """
         def fan_out(pool, tasks):
-            # repro: allow[RPR006] inline executor only, never pickled
+            # repro: allow[RPR006, RPR007] inline executor only, never pickled
             return pool.map(lambda task: task + 1, tasks)
         """,
         "runtime/sweep.py",
     )
     assert findings == []
-    assert [s.rule for s in suppressed] == ["RPR006"]
+    assert sorted(s.rule for s in suppressed) == ["RPR006", "RPR007"]
+
+
+# ---------------------------------------------------------------------------
+# RPR007 worker-supervision
+
+
+def test_rpr007_flags_unbounded_get_and_join():
+    findings, _ = findings_for(
+        """
+        def wait(handle, worker_thread):
+            payload = handle.get()
+            worker_thread.join()
+            return payload
+        """,
+        "runtime/supervisor.py",
+    )
+    assert rule_ids(findings) == ["RPR007", "RPR007"]
+    assert "timeout" in findings[0].message
+
+
+def test_rpr007_negative_bounded_waits_and_dict_get():
+    findings, _ = findings_for(
+        """
+        def wait(handle, worker_thread, options):
+            payload = handle.get(timeout=5.0)
+            worker_thread.join(2.0)
+            names = ", ".join(["a", "b"])
+            return payload, options.get("key"), names
+        """,
+        "runtime/supervisor.py",
+    )
+    assert findings == []
+
+
+def test_rpr007_negative_outside_runtime():
+    findings, _ = findings_for(
+        """
+        def fan_out(pool, tasks, handle):
+            handle.get()
+            return pool.map(str, tasks)
+        """,
+        "analysis/report.py",
+    )
+    assert findings == []
+
+
+def test_rpr007_ignores_non_worker_receivers():
+    findings, _ = findings_for(
+        """
+        def plot(figure, series):
+            return figure.map(str, series)
+        """,
+        "runtime/pool.py",
+    )
+    assert findings == []
 
 
 # ---------------------------------------------------------------------------
@@ -519,8 +576,8 @@ def test_suppression_only_silences_named_rule():
         """,
         "runtime/sweep.py",
     )
-    # RPR006 still fires: the comment names a different rule.
-    assert rule_ids(findings) == ["RPR006"]
+    # RPR006/RPR007 still fire: the comment names a different rule.
+    assert sorted(rule_ids(findings)) == ["RPR006", "RPR007"]
     assert suppressed == []
 
 
@@ -533,9 +590,11 @@ def test_syntax_error_reports_parse_finding():
     assert [f.rule for f in findings] == [PARSE_ERROR]
 
 
-def test_registry_has_the_six_shipped_rules():
+def test_registry_has_the_seven_shipped_rules():
     ids = [rule.id for rule in all_rules()]
-    assert ids == ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"]
+    assert ids == [
+        "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006", "RPR007",
+    ]
     assert get_rule("RPR004").name == "lock-discipline"
     with pytest.raises(ValueError):
         get_rule("RPR999")
@@ -625,7 +684,10 @@ def test_shipped_tree_is_clean():
     assert report.findings == [], [f.render() for f in report.findings]
     # The justified suppressions are part of the shipped contract: they
     # only ever shrink (a new one needs the same scrutiny as a fix).
-    assert len(report.suppressions) <= 14
+    # PR 9 added three: the thread executor's map and the post-terminate
+    # pool.join() (both provably bounded, RPR007), and the journal's
+    # best-effort temp-file cleanup (RPR005).
+    assert len(report.suppressions) <= 17
 
 
 def test_default_root_is_the_repro_package():

@@ -269,10 +269,44 @@ def test_watch_thread_polls_and_stops_cleanly(store):
     # Ledger traffic lands while the watcher runs; stop() runs one final
     # poll, so the crossing is acted on even if every timed tick missed it.
     store.record_spend(fingerprint, nonces=12, nonce_high=12, material_seed=0)
-    watch.stop()
+    leaked = watch.stop()
+    assert leaked is False
     assert not watch.alive
     assert len(rep.replenishments) >= 1
     assert store.inspect()[0]["ok"]
+
+
+def test_watch_stop_reports_leaked_thread():
+    """A watcher stuck in a poll must be *reported*, not silently leaked:
+    stop() re-checks liveness after join(timeout), warns, returns True,
+    and skips the final poll (the stuck thread may hold the replenisher
+    mid-operation)."""
+    import threading
+
+    from repro.runtime.material import ReplenishWatch
+
+    class DummyReplenisher:
+        polled = 0
+
+        def poll(self):
+            self.polled += 1
+
+    release = threading.Event()
+    thread = threading.Thread(target=release.wait, daemon=True)
+    thread.start()
+    rep = DummyReplenisher()
+    watch = ReplenishWatch(
+        replenisher=rep, _stop=threading.Event(), _thread=thread
+    )
+    try:
+        with pytest.warns(RuntimeWarning, match="did not stop"):
+            leaked = watch.stop(timeout=0.05)
+        assert leaked is True
+        assert watch.alive
+        assert rep.polled == 0
+    finally:
+        release.set()
+        thread.join(1.0)
 
 
 def test_observe_counts_sampling_as_demand(store):
