@@ -556,6 +556,13 @@ class WorkerSupervisionRule(Rule):
     the :class:`~repro.runtime.supervisor.Supervisor`; the few sites
     where an unbounded wait is provably safe (thread executors,
     post-``terminate()`` reaping) carry ``# repro: allow[RPR007]``.
+
+    The asyncio engine extends the same invariant to coroutines: every
+    ``asyncio.wait_for``/``asyncio.wait`` must carry a concrete (non-
+    ``None``) timeout, and an awaited zero-arg queue ``.get()`` counts
+    as bounded only when it is the wrapped first argument of such a
+    bounded ``wait_for`` — the pattern ``runtime/aio.py`` uses for every
+    mailbox and conductor wait.
     """
 
     id = "RPR007"
@@ -563,7 +570,7 @@ class WorkerSupervisionRule(Rule):
     invariant = (
         "runtime/ never blocks unboundedly on worker machinery: pool/"
         "executor .map goes through the Supervisor, .get()/.join() carry "
-        "a timeout"
+        "a timeout, asyncio waits carry a concrete timeout"
     )
     paths = ("runtime/*.py",)
 
@@ -575,12 +582,28 @@ class WorkerSupervisionRule(Rule):
     #: case-insensitively against the dotted receiver name) — scoping to
     #: these keeps dict-like ``.map``-free objects out of scope.
     WORKER_RECEIVERS = ("pool", "executor", "worker", "process", "thread", "result")
+    #: asyncio wait primitives whose ``timeout`` defaults to ``None`` —
+    #: in runtime/ they must be called with an explicit bound.
+    ASYNC_WAITS = ("wait_for", "wait")
 
     def check(self, ctx: LintContext) -> Iterator:
+        bounded_gets = self._bounded_wait_for_args(ctx.tree)
         for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call) or not isinstance(
-                node.func, ast.Attribute
-            ):
+            if not isinstance(node, ast.Call):
+                continue
+            wait_name = self._async_wait_name(node)
+            if wait_name is not None:
+                if not self._async_wait_bounded(node, wait_name):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"asyncio.{wait_name}() without a concrete timeout "
+                        "suspends forever on a coroutine that may never "
+                        "resolve; pass timeout= (the async driver bounds "
+                        "every await with STEP_TIMEOUT_S)",
+                    )
+                continue
+            if not isinstance(node.func, ast.Attribute):
                 continue
             method = node.func.attr
             has_timeout = any(kw.arg == "timeout" for kw in node.keywords)
@@ -592,14 +615,21 @@ class WorkerSupervisionRule(Rule):
                     "worker stalls the sweep forever; dispatch chunks through "
                     "the Supervisor (apply_async + bounded get) instead",
                 )
-            elif method == "get" and not node.args and not node.keywords:
+            elif (
+                method == "get"
+                and not node.args
+                and not node.keywords
+                and node not in bounded_gets
+            ):
                 # dict/env .get always takes a key argument, so a zero-arg
-                # .get() is an AsyncResult/queue wait — and unbounded.
+                # .get() is an AsyncResult/queue wait — and unbounded,
+                # unless a bounded asyncio.wait_for wraps it.
                 yield ctx.finding(
                     self,
                     node,
                     ".get() without a timeout waits forever on a result a dead "
-                    "worker will never deliver; pass timeout=",
+                    "worker will never deliver; pass timeout= (or wrap it in "
+                    "a bounded asyncio.wait_for)",
                 )
             elif (
                 method == "join"
@@ -623,3 +653,51 @@ class WorkerSupervisionRule(Rule):
             return False
         lowered = name.lower()
         return any(fragment in lowered for fragment in self.WORKER_RECEIVERS)
+
+    def _async_wait_name(self, node: ast.Call) -> Optional[str]:
+        """``wait_for``/``wait`` if this call is an asyncio wait primitive.
+
+        Matches the qualified form (``asyncio.wait_for``) and the bare
+        import (``from asyncio import wait_for``); a bare ``wait`` name
+        also counts — in runtime/ an unbounded ``wait()`` is suspect no
+        matter which module it came from.
+        """
+        name = dotted_name(node.func)
+        if name is None:
+            return None
+        head, _, tail = name.rpartition(".")
+        if tail not in self.ASYNC_WAITS:
+            return None
+        if head and head.split(".")[-1] != "asyncio":
+            return None
+        return tail
+
+    @staticmethod
+    def _is_none(node: ast.AST) -> bool:
+        return isinstance(node, ast.Constant) and node.value is None
+
+    def _async_wait_bounded(self, node: ast.Call, wait_name: str) -> bool:
+        for keyword in node.keywords:
+            if keyword.arg == "timeout":
+                return not self._is_none(keyword.value)
+        if wait_name == "wait_for" and len(node.args) >= 2:
+            # wait_for(aw, timeout) — the bound may be positional.
+            return not self._is_none(node.args[1])
+        return False
+
+    def _bounded_wait_for_args(self, tree: ast.AST) -> Set[ast.AST]:
+        """First arguments of every *bounded* ``asyncio.wait_for`` call.
+
+        A zero-arg queue ``.get()`` appearing there is the event-driven
+        idiom for a supervised wait (``runtime/aio.py``'s mailbox and
+        conductor waits) and must not trip the unbounded-``.get()`` arm.
+        """
+        wrapped: Set[ast.AST] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if self._async_wait_name(node) != "wait_for":
+                continue
+            if node.args and self._async_wait_bounded(node, "wait_for"):
+                wrapped.add(node.args[0])
+        return wrapped

@@ -14,14 +14,21 @@ Usage::
     python -m repro.cli sweep     --sessions 64 --workload voting --material shared --online --verify
     python -m repro.cli sweep     --sessions 64 --material disk --online --consume-forward --replenish
     python -m repro.cli material  replenish --nonces 256 --feldman 32
+    python -m repro.cli serve     --sessions 256 --duration 30 --online --material disk
 
 Every protocol command accepts ``--backend`` to pick the execution
 backend (``sequential`` is the reference engine; ``pooled`` / ``batched``
-are the runtime's throughput drivers).  The top-level ``--arith`` flag
-selects the big-integer arithmetic tier (``auto`` picks gmpy2 when
-installed; results are identical across tiers, only speed changes), and
+are the runtime's throughput drivers; ``async`` is the event-driven
+engine behind ``serve``).  The top-level ``--arith`` flag selects the
+big-integer arithmetic tier (``auto`` picks gmpy2 when installed;
+results are identical across tiers, only speed changes), and
 ``--batch-verify`` on the sweep/bench/scenario/election commands batches
 verification rounds through random-linear-combination multi-exps.
+
+The execution knobs on ``bench``/``sweep``/``scenarios run``/``serve``
+are one shared flag set (:func:`repro.runtime.config.add_sweep_options`)
+feeding one :class:`repro.runtime.config.SweepConfig` — the same object
+the Python entry points take via ``config=``.
 """
 
 from __future__ import annotations
@@ -111,7 +118,7 @@ def _cmd_auction(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.runtime import SessionPool, sequential_loop
+    from repro.runtime import SessionPool, SweepConfig, sequential_loop
 
     if args.sessions < 1:
         print("--sessions must be >= 1 (an empty sweep has nothing to report)",
@@ -121,20 +128,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         n=args.n, mode=args.mode, phi=args.phi, delta=args.delta, senders=args.senders
     )
     try:
-        pool = SessionPool(
-            backend=args.backend,
-            executor=args.executor,
-            workers=args.workers,
-            chunksize=args.chunksize,
-            max_tasks_per_child=args.max_tasks_per_child,
-            material=args.material,
-            adaptive=args.adaptive,
-            online=args.online,
-            consume_forward=args.consume_forward,
-            batch_verify=args.batch_verify,
-            trace=args.trace,
-            **params,
-        )
+        config = SweepConfig.from_args(args, backend=args.backend)
+        pool = SessionPool(config=config, **params)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -215,47 +210,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if not args.json:
             print("--verify compares trace digests: forcing --trace full")
         trace = "full"
-    retry = deadline = chaos = None
-    if args.retry_attempts is not None:
-        from repro.runtime import RetryPolicy
-
-        retry = RetryPolicy(max_attempts=args.retry_attempts)
-    if args.deadline_cap_s is not None:
-        from repro.runtime import DeadlinePolicy
-
-        deadline = DeadlinePolicy(
-            floor_s=min(args.deadline_cap_s, 60.0), cap_s=args.deadline_cap_s
-        )
-    if args.chaos is not None:
-        from repro.runtime import ChaosPlan
-
-        try:
-            chaos = ChaosPlan.parse(args.chaos, hang_s=args.chaos_hang_s)
-        except ValueError as exc:
-            print(str(exc), file=sys.stderr)
-            return 2
     try:
-        sweep = ParallelSweep(
-            runner=runner,
-            backend=args.backend,
-            executor=args.executor,
-            workers=args.workers,
-            chunksize=args.chunksize,
-            max_tasks_per_child=args.max_tasks_per_child,
-            warmup=not args.no_warmup,
-            material=args.material,
-            adaptive=args.adaptive,
-            online=args.online,
-            consume_forward=args.consume_forward,
-            batch_verify=args.batch_verify,
-            retry=retry,
-            deadline=deadline,
-            chaos=chaos,
-            journal=args.journal,
-            resume=args.resume,
-            trace=trace,
-            **params,
-        )
+        from repro.runtime import SweepConfig
+
+        config = SweepConfig.from_args(args, backend=args.backend, trace=trace)
+        sweep = ParallelSweep(runner=runner, config=config, **params)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -346,6 +305,75 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runtime import (
+        AsyncSessionHost,
+        SweepConfig,
+        async_sbc_session,
+        async_voting_session,
+        online_ranges_disjoint,
+        run_sbc_trial,
+        run_voting_trial,
+    )
+
+    if args.sessions < 1:
+        print("--sessions must be >= 1 (a host with no sessions has nothing "
+              "to report)", file=sys.stderr)
+        return 2
+    try:
+        config = SweepConfig.from_args(args, backend=args.backend)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    # Inline hosting interleaves coroutine sessions on the loop; the
+    # executor modes offload the picklable synchronous trial runners.
+    if args.workload == "voting":
+        runner = async_voting_session if config.executor == "inline" else run_voting_trial
+        params = dict(voters=args.n, mode=args.mode)
+    else:
+        runner = async_sbc_session if config.executor == "inline" else run_sbc_trial
+        params = dict(n=args.n, mode=args.mode)
+    try:
+        host = AsyncSessionHost(
+            runner,
+            config=config,
+            session_timeout_s=args.session_timeout_s,
+            **params,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    seeds = list(range(args.seed, args.seed + args.sessions))
+    report = host.run(seeds, duration_s=args.duration)
+    if not report.results:
+        print("the host admitted no sessions before --duration elapsed",
+              file=sys.stderr)
+        return 2
+    disjoint = True
+    spends = 0
+    if config.online:
+        disjoint, spends = online_ranges_disjoint(report.results)
+    if args.json:
+        record = report.summary()
+        if config.online:
+            record["spends_checked"] = spends
+            record["spends_disjoint"] = disjoint
+        print(json.dumps(record, indent=2))
+    else:
+        print(format_table(
+            [report.summary()],
+            title=f"serve: {report.sessions} x {args.workload} ({args.mode})",
+        ))
+        print(f"sessions/sec: {report.sessions_per_s:.1f}  "
+              f"(completed out of submission order: {report.interleaved})")
+        if config.online:
+            print(f"online spends checked: {spends}  disjoint: "
+                  f"{'yes' if disjoint else 'NO'}")
+    return 0 if disjoint else 1
+
+
 def _scenario_specs(args: argparse.Namespace):
     from repro.scenarios import default_matrix, extra_scenarios
 
@@ -398,18 +426,13 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         return 0
 
     try:
-        report = run_matrix(
-            specs,
-            executor=args.executor,
-            workers=args.workers,
-            chunksize=args.chunksize,
-            max_tasks_per_child=args.max_tasks_per_child,
-            material=args.material,
-            adaptive=args.adaptive,
-            online=args.online,
-            consume_forward=args.consume_forward,
-            batch_verify=args.batch_verify,
-        )
+        from repro.runtime import SweepConfig
+
+        # The matrix's --backend flag filters *cells*; each cell pins its
+        # own execution backend, so the pool-level backend stays at the
+        # default (run_matrix forces it to sequential regardless).
+        config = SweepConfig.from_args(args, backend="sequential")
+        report = run_matrix(specs, config=config)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -592,49 +615,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bids", nargs="*", type=int, default=None)
     p.set_defaults(func=_cmd_auction)
 
-    def executor_options(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--workers", type=int, default=None,
-                       help="worker count (default: all cores for processes)")
-        p.add_argument(
-            "--chunksize", type=int, default=None,
-            help="tasks per process dispatch (default: auto, ~4 chunks/worker)",
-        )
-        p.add_argument(
-            "--max-tasks-per-child", type=int, default=None,
-            help="recycle process workers after this many tasks",
-        )
-        p.add_argument(
-            "--material", choices=("compute", "disk", "shared"), default="compute",
-            help="worker crypto warm-up source: rebuild locally, attach the "
-                 "preprocessing store from disk, or attach shared memory "
-                 "(see 'repro material build')",
-        )
-        p.add_argument(
-            "--adaptive", action="store_true",
-            help="re-plan the process chunk size mid-sweep from observed "
-                 "per-task wall time",
-        )
-        p.add_argument(
-            "--online", action="store_true",
-            help="spend the preprocessed randomness pools inside trials "
-                 "(offline/online protocol mode; requires --material "
-                 "disk or shared — see 'repro material build --for-sweep')",
-        )
-        p.add_argument(
-            "--consume-forward", action="store_true",
-            help="offset the online plan by the persisted spend ledger "
-                 "so successive runs spend disjoint pool slices (the "
-                 "plan's range is reserved in the ledger up front); "
-                 "without it, re-running --online re-spends from index 0 "
-                 "and warns when the ledger shows prior spends",
-        )
-        p.add_argument(
-            "--batch-verify", action="store_true",
-            help="batch verification rounds inside trials through one "
-                 "random-linear-combination multi-exp per round "
-                 "(outputs identical to per-item verification; batched "
-                 "runs are digest-pinned via verify.batch trace events)",
-        )
+    # One shared execution-flag block (the SweepConfig knob set) for
+    # bench/sweep/scenarios run/serve — defined once in runtime.config so
+    # the subcommands cannot drift apart again.
+    from repro.runtime.config import add_sweep_options
 
     p = sub.add_parser("bench", help="run a pooled SBC session sweep")
     common(p)
@@ -643,15 +627,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--phi", type=int, default=5)
     p.add_argument("--delta", type=int, default=3)
     p.add_argument("--senders", type=int, default=2)
-    p.add_argument(
-        "--executor", choices=("inline", "thread", "process"), default="inline",
-        help="how the pool maps sessions to workers",
-    )
-    executor_options(p)
-    p.add_argument(
-        "--trace", choices=("full", "light"), default="light",
-        help="trace mode inside pooled sessions (light = no EventLog, faster)",
-    )
+    add_sweep_options(p, executor_default="inline", trace_default="light")
     p.add_argument(
         "--compare", action="store_true",
         help="also run the sequential reference loop and print the speedup",
@@ -674,19 +650,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(each ballot burns a real Σ-protocol nonce — the workload "
              "that visibly spends pools under --online)",
     )
-    p.add_argument(
-        "--executor", choices=("inline", "thread", "process"), default="process",
-        help="sweep executor (default: process fan-out)",
-    )
-    executor_options(p)
-    p.add_argument(
-        "--no-warmup", action="store_true",
-        help="skip the per-worker crypto warm-up initializer",
-    )
-    p.add_argument(
-        "--trace", choices=("full", "light"), default="light",
-        help="trace mode inside swept sessions",
-    )
+    add_sweep_options(p, executor_default="process", trace_default="light")
     p.add_argument(
         "--verify", action="store_true",
         help="also run the inline reference and require seed-for-seed "
@@ -700,46 +664,40 @@ def build_parser() -> argparse.ArgumentParser:
              "--online)",
     )
     p.add_argument(
-        "--journal", default=None, metavar="PATH",
-        help="record each completed chunk to a crash-safe JSONL journal "
-             "so a killed sweep can pick up where it left off",
-    )
-    p.add_argument(
-        "--resume", action="store_true",
-        help="restore completed chunks from --journal instead of "
-             "re-running them (the journaled online plan is replayed "
-             "verbatim, so no material is double-spent)",
-    )
-    p.add_argument(
-        "--chaos", default=None, metavar="SPEC",
-        help="inject worker faults for resilience testing: "
-             "comma-separated kind@task[:repeat] with kind in "
-             "kill/exc/hang and ':*' for every dispatch "
-             "(e.g. 'kill@3,exc@7:2'); recovery keeps the sweep "
-             "digest-equal, so combine with --verify",
-    )
-    p.add_argument(
-        "--chaos-hang-s", type=float, default=30.0,
-        help="how long an injected 'hang' fault sleeps (default: 30)",
-    )
-    p.add_argument(
-        "--retry-attempts", type=int, default=None,
-        help="max attempts per chunk before bisecting to the poison "
-             "task (default: 3)",
-    )
-    p.add_argument(
-        "--deadline-cap-s", type=float, default=None,
-        help="hard upper bound on the per-chunk deadline in seconds: a "
-             "chunk silent that long gets its pool respawned and is "
-             "retried (default: none — the EWMA-derived deadline rules; "
-             "set a few seconds to exercise hang recovery)",
-    )
-    p.add_argument(
         "--json", action="store_true",
         help="emit the resolved plan (with adaptivity trace) and report "
              "as JSON instead of tables",
     )
     p.set_defaults(func=_cmd_sweep, backend="pooled")
+
+    p = sub.add_parser(
+        "serve",
+        help="service mode: host N concurrent sessions on one asyncio "
+             "loop (the event-driven `async` backend)",
+    )
+    common(p)
+    p.add_argument("--sessions", type=int, default=64,
+                   help="number of concurrent sessions to host")
+    p.add_argument("--n", type=int, default=3,
+                   help="parties (sbc) or voters (voting) per session")
+    p.add_argument(
+        "--workload", choices=("voting", "sbc"), default="voting",
+        help="per-session workload (voting burns real Σ-protocol nonces, "
+             "the workload that visibly spends pools under --online)",
+    )
+    p.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="admission budget: stop starting new sessions once this "
+             "much wall time has elapsed (admitted sessions finish)",
+    )
+    p.add_argument(
+        "--session-timeout-s", type=float, default=600.0,
+        help="wall-clock bound on one executor-offloaded session",
+    )
+    add_sweep_options(p, executor_default="inline", trace_default="light")
+    p.add_argument("--json", action="store_true",
+                   help="emit the host report as JSON")
+    p.set_defaults(func=_cmd_serve, backend="async")
 
     p = sub.add_parser(
         "material",
@@ -783,11 +741,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--cell", default=None, metavar="SUBSTR",
         help="restrict to cells whose id contains SUBSTR (e.g. 'sbc-composed/')",
     )
-    p.add_argument(
-        "--executor", choices=("inline", "thread", "process"), default="inline",
-        help="how the matrix maps cells to workers",
-    )
-    executor_options(p)
+    add_sweep_options(p, executor_default="inline", trace_default=None)
     p.add_argument("--json", action="store_true", help="emit JSON records")
     p.set_defaults(func=_cmd_scenarios)
 

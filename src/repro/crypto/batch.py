@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import random
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -273,19 +274,23 @@ class BatchPolicy:
         return verify_batch(group, items, seed=self.seed, min_items=self.min_items)
 
 
-_POLICY: Optional[BatchPolicy] = None
+#: ContextVar, not a module global: concurrent sessions hosted in one
+#: asyncio loop each scope their own policy (see
+#: :data:`repro.crypto.randomness._SOURCE` for the full rationale).
+_POLICY: ContextVar[Optional[BatchPolicy]] = ContextVar(
+    "repro_batch_policy", default=None
+)
 
 
 def current_policy() -> Optional[BatchPolicy]:
     """The installed batching policy, or None (per-item verification)."""
-    return _POLICY
+    return _POLICY.get()
 
 
 def install_policy(policy: Optional[BatchPolicy]) -> Optional[BatchPolicy]:
-    """Install ``policy`` process-wide; returns the previous one."""
-    global _POLICY
-    previous = _POLICY
-    _POLICY = policy
+    """Install ``policy`` in the current context; returns the previous one."""
+    previous = _POLICY.get()
+    _POLICY.set(policy)
     return previous
 
 

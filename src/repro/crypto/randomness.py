@@ -30,6 +30,7 @@ trace; see ``ARCHITECTURE.md``).
 from __future__ import annotations
 
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Iterator, Optional, Tuple
 
 __all__ = [
@@ -98,21 +99,34 @@ class SampleSource(RandomnessSource):
         return coefficients, commitments
 
 
-#: The ambient source consulted by signing/proving/sharing.  Installed
-#: per process; trials scope a pool-backed source via :func:`spending`.
-_SOURCE: RandomnessSource = SampleSource()
+#: The ambient source consulted by signing/proving/sharing.  A
+#: :class:`~contextvars.ContextVar` rather than a module global so each
+#: asyncio task (and each thread) scopes its own source: the async
+#: session host runs many trials concurrently in one event loop, and a
+#: ``with spending(cursor)`` inside one session's task must never leak
+#: its pool cursor into an interleaved session — that would be a
+#: double-spend.  Synchronous callers see the same semantics as the old
+#: global: install/read in one thread behaves identically.
+_SOURCE: ContextVar[RandomnessSource] = ContextVar(
+    "repro_randomness_source", default=SampleSource()
+)
 
 
 def current_source() -> RandomnessSource:
     """The ambient :class:`RandomnessSource` (default: sample-per-call)."""
-    return _SOURCE
+    return _SOURCE.get()
 
 
 def install_source(source: RandomnessSource) -> RandomnessSource:
-    """Replace the ambient source; returns the previous one."""
-    global _SOURCE
-    previous = _SOURCE
-    _SOURCE = source
+    """Replace the ambient source; returns the previous one.
+
+    The replacement is scoped to the current :mod:`contextvars` context
+    — the current thread, or the current asyncio task when called from
+    a coroutine — so concurrent sessions cannot observe each other's
+    pool cursors.
+    """
+    previous = _SOURCE.get()
+    _SOURCE.set(source)
     return previous
 
 

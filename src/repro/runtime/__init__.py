@@ -21,11 +21,31 @@ the clock — :mod:`repro.uc`) from *how* an execution is driven:
   process fan-out underneath it: per-chunk deadlines, deterministic
   retry/backoff, pool respawn on dead workers, poison-task quarantine,
   the crash-safe :class:`~repro.runtime.supervisor.SweepJournal` and
-  the :class:`~repro.runtime.supervisor.ChaosPlan` fault harness.
+  the :class:`~repro.runtime.supervisor.ChaosPlan` fault harness;
+* :class:`~repro.runtime.config.SweepConfig` — the one frozen config
+  object every entry point (``SessionPool``, ``ParallelSweep``,
+  ``run_matrix``, ``AsyncSessionHost``, the CLI) builds its execution
+  knobs from;
+* :class:`~repro.runtime.aio.AsyncSessionHost` — service mode: N
+  concurrent sessions on one asyncio loop under the event-driven
+  ``async`` backend (:class:`~repro.runtime.aio.AsyncRoundDriver`),
+  digest-equal to ``sequential``.
 
 The ``sequential`` backend is the default everywhere and reproduces the
 pre-runtime engine byte-for-byte (same seed, same trace).
 """
+
+from repro.runtime.aio import (
+    ASYNC,
+    AsyncExecutionBackend,
+    AsyncRoundDriver,
+    AsyncSessionHost,
+    HostReport,
+    VirtualClock,
+    async_sbc_session,
+    async_voting_session,
+    online_ranges_disjoint,
+)
 
 from repro.runtime.backend import (
     BATCHED,
@@ -41,8 +61,14 @@ from repro.runtime.driver import (
     RoundDriver,
     SequentialRoundDriver,
 )
+from repro.runtime.config import (
+    SweepConfig,
+    add_sweep_options,
+    resolve_legacy_config,
+)
 from repro.runtime.material import (
     MATERIAL_SOURCES,
+    HostSlotAllocator,
     MaterialCursor,
     MaterialHandle,
     MaterialStore,
@@ -93,6 +119,10 @@ from repro.runtime.supervisor import (
 from repro.runtime.sweep import ParallelSweep, SweepPlan, SweepVerification
 
 __all__ = [
+    "ASYNC",
+    "AsyncExecutionBackend",
+    "AsyncRoundDriver",
+    "AsyncSessionHost",
     "BATCHED",
     "BatchScheduler",
     "BatchedRoundDriver",
@@ -102,6 +132,8 @@ __all__ = [
     "ChaosPlan",
     "DeadlinePolicy",
     "ExecutionBackend",
+    "HostReport",
+    "HostSlotAllocator",
     "MATERIAL_SOURCES",
     "MaterialCursor",
     "MaterialHandle",
@@ -120,11 +152,16 @@ __all__ = [
     "Supervisor",
     "SupervisorStats",
     "SweepJournal",
+    "SweepConfig",
     "SweepPlan",
     "SweepVerification",
     "TraceDigestUnavailable",
     "TrialDisagreement",
     "TrialResult",
+    "VirtualClock",
+    "add_sweep_options",
+    "async_sbc_session",
+    "async_voting_session",
     "attached_material",
     "auto_chunksize",
     "available_backends",
@@ -135,12 +172,14 @@ __all__ = [
     "extend_or_rebuild",
     "get_backend",
     "online_pool_requirement",
+    "online_ranges_disjoint",
     "publish_material",
     "record_online_spend",
     "register_backend",
     "replenish_amount",
     "replenish_decision",
     "reports_match",
+    "resolve_legacy_config",
     "resolve_material_source",
     "resolve_workers",
     "run_sbc_trial",

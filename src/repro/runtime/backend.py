@@ -153,8 +153,22 @@ for _backend in (SEQUENTIAL, POOLED, BATCHED):
     register_backend(_backend)
 
 
+def _ensure_builtin_backends() -> None:
+    """Finish registering the built-ins that live in their own modules.
+
+    The ``async`` backend's module pulls in the whole asyncio machinery
+    and imports this module in turn, so it registers itself on import
+    rather than being constructed here; importing it lazily at the
+    first registry *read* keeps ``import repro.runtime.backend`` light
+    while guaranteeing lookups and ``--backend`` choices always see the
+    full set.
+    """
+    import repro.runtime.aio  # noqa: F401  (import registers "async")
+
+
 def available_backends() -> Dict[str, ExecutionBackend]:
     """Name -> backend for every registered backend."""
+    _ensure_builtin_backends()
     return dict(_REGISTRY)
 
 
@@ -168,6 +182,8 @@ def get_backend(backend: Union[str, ExecutionBackend, None]) -> ExecutionBackend
         return SEQUENTIAL
     if isinstance(backend, ExecutionBackend):
         return backend
+    if backend not in _REGISTRY:
+        _ensure_builtin_backends()
     try:
         return _REGISTRY[backend]
     except KeyError:

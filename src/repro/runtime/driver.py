@@ -119,6 +119,16 @@ class RoundDriver:
             return self.session.clock.time
         raise RuntimeError(f"predicate not satisfied within {max_rounds} rounds")
 
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release driver-held resources.
+
+        The synchronous drivers hold none, so this is a no-op; the
+        asyncio driver overrides it to cancel pending step tasks and
+        close its private event loop.  Safe to call more than once.
+        """
+
 
 class SequentialRoundDriver(RoundDriver):
     """Reference driver: one party, one message, one callback at a time.

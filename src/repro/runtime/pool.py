@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.runtime.backend import ExecutionBackend, get_backend
+from repro.runtime.config import SweepConfig, resolve_legacy_config
 
 # canonical_detail moved next to the Event type it renders; re-exported
 # here (and from repro.runtime) for the existing import surface.
@@ -519,206 +520,52 @@ class SessionPool:
     Args:
         runner: ``runner(seed, **kwargs) -> TrialResult`` (or any picklable
             result).  Must be a module-level callable for process workers.
-        backend: Execution backend applied inside each session; forwarded
-            to ``runner`` as ``backend=`` unless the runner opts out.
-        executor: ``"inline"`` (default: one warm driver, no worker
-            overhead), ``"thread"`` or ``"process"`` for
-            ``concurrent.futures`` fan-out.  Process workers only pay off
-            with real cores and chunky sessions.
-        workers: Worker count for the concurrent executors (default: all
-            cores for processes, the executor default for threads).
-        chunksize: Tasks shipped per process dispatch (default: auto via
-            :func:`auto_chunksize`).  Ignored by inline/thread executors.
-        max_tasks_per_child: Recycle each process worker after this many
-            tasks (bounds per-worker memory growth on long sweeps).
-            ``None`` reuses workers for the whole sweep.
-        warmup: Run the shared-crypto warm-up initializer in each process
-            worker (default True; set False to measure cold workers).
-        material: Where worker warm-up gets its crypto caches —
-            ``"compute"`` (default: rebuild locally), ``"disk"`` (attach
-            the preprocessing store's serialized tables) or ``"shared"``
-            (parent publishes a shared-memory segment, workers attach;
-            mmap fallback).  All three produce value-identical caches,
-            so trace digests never depend on the source.  Requires
-            ``warmup`` (attach *is* the warm-up).
-        material_groups: Parameter sets published to *process* workers
-            (default: the test group).  Pass ``(GROUP_2048,)`` — or
-            :func:`~repro.runtime.material.default_groups` for both —
-            when trials run production-strength parameters; that table
-            is the one whose per-worker rebuild actually hurts.
-            Inline/thread executors attach the defaults; custom sets
-            there go through
-            :func:`~repro.runtime.material.warm_with_material` directly.
-        adaptive: Re-plan the process chunk size mid-sweep from observed
-            per-task wall time (EWMA, bounded moves; shrink-only under
-            worker recycling).  Ignored by inline/thread executors.
-        online: Spend the preprocessed randomness pools inside trials
-            (the offline/online protocol mode).  ``True`` partitions the
-            pools across tasks by position; an explicit
-            :class:`~repro.runtime.material.OnlinePlan` pins custom slot
-            assignments.  Requires a pool-bearing ``material`` source
-            (``disk``/``shared``), ``warmup``, a non-thread executor
-            (thread trials would share one ambient cursor) and an
-            online-aware runner (one accepting an ``online=`` keyword).
-            Pool-consuming digests are pinned separately from
-            sample-per-call digests — see
-            :func:`record_online_spend`.
-        consume_forward: Offset the online plan by the persisted spend
-            ledger (and reserve the plan's range there up front), so
-            successive sweeps against one blob spend disjoint slices
-            instead of re-spending from index 0.  Requires ``online``.
-            Without it, a ledger that already shows spends triggers an
-            advisory :class:`RuntimeWarning` at planning time.
-        batch_verify: Batch verification-heavy rounds through one
-            random-linear-combination multi-exp per round.  ``True``
-            uses the stock :class:`~repro.crypto.batch.BatchPolicy`; an
-            explicit policy pins seed/threshold/trace behaviour.
-            Forwarded to the runner as ``batch=``; protocol outputs are
-            identical to per-item verification, and with the policy's
-            ``record_trace`` each batched round is digest-pinned via a
-            ``verify.batch`` trace event.  Not supported on the thread
-            executor (interleaved trials would race on the ambient
-            policy).
-        retry: :class:`~repro.runtime.supervisor.RetryPolicy` for the
-            supervised process fan-out (default: the stock policy —
-            3 attempts, deterministic exponential backoff).  Process
-            executor only.
-        deadline: :class:`~repro.runtime.supervisor.DeadlinePolicy`
-            bounding each chunk's wait (EWMA task time x factor, with a
-            generous floor so healthy sweeps never trip it).  Process
-            executor only.
-        chaos: Fault-injection schedule for tests/CI — a
-            :class:`~repro.runtime.supervisor.ChaosPlan` or a spec
-            string (``"kill@3,exc@5:*"``).  Faults fire inside workers,
-            so this requires the process executor; retried tasks replay
-            clean, keeping chaos runs digest-equal to undisturbed ones.
-        journal: Path for a crash-safe
-            :class:`~repro.runtime.supervisor.SweepJournal`: each
-            completed chunk is persisted (atomic rewrite), so a killed
-            sweep can resume.  Process executor only.
-        resume: Resume from ``journal`` instead of starting fresh:
-            journaled trials are restored (not re-executed), the
-            journaled :class:`~repro.runtime.material.OnlinePlan` is
-            replayed verbatim (no re-reservation — no double-spend),
-            and only journaled-run spends are *not* re-ledgered.
-            Requires ``journal``; refuses a journal whose recorded
-            configuration differs from this sweep's.
-        trace: Optional trace-mode override forwarded to the runner
-            (``"light"`` turns the EventLog off for throughput runs).
+        config: A :class:`~repro.runtime.config.SweepConfig` holding
+            every execution knob (backend, executor, workers, material,
+            online, supervision, ...) — see that class for the full
+            reference; validation lives in its ``__post_init__``.
+        **runner_kwargs: Forwarded verbatim to ``runner`` on every
+            trial.  For back compatibility the execution knobs are also
+            accepted as individual keywords (``executor="process"``,
+            ``online=True``, ...); they build a config internally.
+            Passing them positionally is deprecated and warns.
     """
 
     def __init__(
         self,
         runner: Callable[..., TrialResult] = run_sbc_trial,
-        backend: Union[str, ExecutionBackend] = "pooled",
-        executor: str = "inline",
-        workers: Optional[int] = None,
-        chunksize: Optional[int] = None,
-        max_tasks_per_child: Optional[int] = None,
-        warmup: bool = True,
-        material: Optional[str] = None,
-        material_groups: Optional[Sequence[Any]] = None,
-        adaptive: bool = False,
-        online: Any = False,
-        consume_forward: bool = False,
-        batch_verify: Any = False,
-        retry: Optional[Any] = None,
-        deadline: Optional[Any] = None,
-        chaos: Optional[Any] = None,
-        journal: Optional[Any] = None,
-        resume: bool = False,
-        trace: Optional[str] = None,
+        *legacy: Any,
+        config: Optional[SweepConfig] = None,
         **runner_kwargs: Any,
     ) -> None:
-        from repro.crypto.batch import BatchPolicy
-        from repro.runtime.material import MATERIAL_COMPUTE, resolve_material_source
-
-        if executor not in ("inline", "thread", "process"):
-            raise ValueError(f"executor must be inline/thread/process, got {executor!r}")
-        if chunksize is not None and chunksize < 1:
-            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
-        if max_tasks_per_child is not None and max_tasks_per_child < 1:
-            raise ValueError(
-                f"max_tasks_per_child must be >= 1, got {max_tasks_per_child}"
-            )
+        config, runner_kwargs = resolve_legacy_config(
+            config,
+            legacy,
+            runner_kwargs,
+            defaults={"backend": "pooled", "executor": "inline"},
+            owner="SessionPool",
+        )
+        self.config = config
         self.runner = runner
-        self.backend = get_backend(backend)
-        self.executor = executor
-        self.workers = workers
-        self.chunksize = chunksize
-        self.max_tasks_per_child = max_tasks_per_child
-        self.warmup = warmup
-        self.material = resolve_material_source(material)
-        self.material_groups = (
-            tuple(material_groups) if material_groups is not None else None
-        )
-        self.adaptive = bool(adaptive)
-        self.online = online
-        self.consume_forward = bool(consume_forward)
-        if self.consume_forward and not self.online:
-            raise ValueError(
-                "consume_forward offsets the online plan by the spend "
-                "ledger; it needs online=True (or an explicit plan)"
-            )
-        if batch_verify is True:
-            self.batch_policy: Optional[BatchPolicy] = BatchPolicy()
-        elif batch_verify:
-            self.batch_policy = batch_verify
-        else:
-            self.batch_policy = None
-        if self.batch_policy is not None and executor == "thread":
-            raise ValueError(
-                "batch_verify is not supported on the thread executor "
-                "(interleaved trials would race on the ambient policy)"
-            )
-        if isinstance(chaos, str):
-            # Lazy import: supervisor imports this module at top level,
-            # so the reverse edge must stay inside functions.
-            from repro.runtime.supervisor import ChaosPlan
-
-            chaos = ChaosPlan.parse(chaos)
-        self.retry_policy = retry
-        self.deadline_policy = deadline
-        self.chaos_plan = chaos
-        self.journal = journal
-        self.resume = bool(resume)
-        supervised = (
-            retry is not None
-            or deadline is not None
-            or chaos is not None
-            or journal is not None
-            or self.resume
-        )
-        if supervised and executor != "process":
-            raise ValueError(
-                "retry/deadline/chaos/journal/resume configure the "
-                "supervised process fan-out; they need executor='process' "
-                "(chaos faults would kill the coordinator inline, and a "
-                "journal of an unsupervised run could not be trusted)"
-            )
-        if self.resume and journal is None:
-            raise ValueError(
-                "resume restores completed chunks from the sweep journal; "
-                "pass journal=<path> (the file the interrupted run wrote)"
-            )
-        self.trace = trace
+        self.backend = get_backend(config.backend)
+        self.executor = config.executor
+        self.workers = config.workers
+        self.chunksize = config.chunksize
+        self.max_tasks_per_child = config.max_tasks_per_child
+        self.warmup = config.warmup
+        self.material = config.material
+        self.material_groups = config.material_groups
+        self.adaptive = config.adaptive
+        self.online = config.online
+        self.consume_forward = config.consume_forward
+        self.batch_policy = config.batch_policy
+        self.retry_policy = config.retry
+        self.deadline_policy = config.deadline
+        self.chaos_plan = config.chaos
+        self.journal = config.journal
+        self.resume = config.resume
+        self.trace = config.trace
         self.runner_kwargs = dict(runner_kwargs)
-        if self.online:
-            if self.material == MATERIAL_COMPUTE:
-                raise ValueError(
-                    "online mode spends the preprocessing store: pick "
-                    "material='disk' or 'shared' (compute has no pools)"
-                )
-            if executor == "thread":
-                raise ValueError(
-                    "online mode is not supported on the thread executor "
-                    "(interleaved trials would share one ambient cursor)"
-                )
-            if not warmup:
-                raise ValueError(
-                    "online mode needs warmup=True (the warm-up attach is "
-                    "what installs the pools)"
-                )
 
     def _online_plan(self, seeds: Sequence[Any]) -> Optional[Any]:
         """Resolve this sweep's :class:`OnlinePlan` (or ``None``).

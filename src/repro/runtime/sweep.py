@@ -21,9 +21,9 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, Optional, Union
+from typing import Any, Callable, Dict, Iterable, Optional
 
-from repro.runtime.backend import ExecutionBackend
+from repro.runtime.config import SweepConfig, resolve_legacy_config
 from repro.runtime.pool import (
     PoolReport,
     SessionPool,
@@ -115,105 +115,35 @@ class ParallelSweep:
         runner: Module-level ``runner(task, **kwargs) -> TrialResult``;
             tasks are whatever the runner indexes by — seeds for protocol
             trials, list indices for scenario cells.
-        backend: Execution backend forwarded into every trial.
-        executor: ``"process"`` (default), ``"thread"`` or ``"inline"``
-            (useful to keep one code path for both modes).
-        workers: Worker processes (default: every available core).
-        chunksize: Tasks per process dispatch (default: automatic).
-        max_tasks_per_child: Recycle workers after this many tasks.
-        warmup: Pre-warm crypto caches in each worker (default True).
-        material: Crypto-material source for worker warm-up —
-            ``"compute"`` (default), ``"disk"`` or ``"shared"`` (see
-            :mod:`repro.runtime.material`); digests are source-invariant.
-        material_groups: Parameter sets to publish material for (default:
-            the test group; pass ``(GROUP_2048,)`` for production-size
-            sweeps).
-        adaptive: Re-plan the chunk size mid-sweep from observed per-task
-            wall time (process executor only).
-        online: Spend the preprocessed randomness pools inside trials
-            (``True`` for positional slot assignment, or an explicit
-            :class:`~repro.runtime.material.OnlinePlan`); requires a
-            pool-bearing ``material`` source.  ``verify()`` replays the
-            same plan inline from the disk store, so pool-consuming
-            sweeps stay seed-for-seed digest-checkable.
-        consume_forward: Offset the online plan by the persisted spend
-            ledger so successive sweeps spend disjoint pool slices (see
-            :class:`~repro.runtime.pool.SessionPool`).  ``verify()``
-            still holds: the reference replays the executed report's
-            exact plan, offsets included.
-        batch_verify: Batch verification rounds inside trials via
-            random-linear-combination multi-exps (``True`` for the stock
-            :class:`~repro.crypto.batch.BatchPolicy`, or an explicit
-            policy).  ``verify()`` replays the same policy inline, so
-            batched sweeps stay seed-for-seed digest-checkable.
-        retry: :class:`~repro.runtime.supervisor.RetryPolicy` for
-            failed/timed-out chunks (process executor; default policy
-            when None).
-        deadline: :class:`~repro.runtime.supervisor.DeadlinePolicy`
-            bounding each chunk's wait (process executor).
-        chaos: :class:`~repro.runtime.supervisor.ChaosPlan` (or its
-            ``parse()`` spec string) injecting worker faults — recovery
-            keeps the report digest-equal, so ``verify()`` checks it.
-        journal: Path for the crash-safe
-            :class:`~repro.runtime.supervisor.SweepJournal` recording
-            each completed chunk.
-        resume: Restore journaled chunks instead of re-running them
-            (requires ``journal``); the journaled
-            :class:`~repro.runtime.material.OnlinePlan` is replayed
-            verbatim, so no material is double-spent.
-        trace: Trace-mode override forwarded to the runner.
+        config: A :class:`~repro.runtime.config.SweepConfig` with every
+            execution knob (see that class for the reference).  The
+            sweep's historical default executor is ``"process"`` — a
+            config built here (from legacy keywords) inherits it; an
+            explicit ``config=`` carries its own.
         runner_kwargs: Extra keyword arguments forwarded to the runner
-            (e.g. ``specs=`` for the scenario-cell runner).
+            (e.g. ``specs=`` for the scenario-cell runner).  The
+            execution knobs are also accepted as individual keywords for
+            back compatibility; positional use is deprecated and warns.
     """
 
     def __init__(
         self,
         runner: Callable[..., TrialResult] = run_sbc_trial,
-        backend: Union[str, ExecutionBackend] = "pooled",
-        executor: str = "process",
-        workers: Optional[int] = None,
-        chunksize: Optional[int] = None,
-        max_tasks_per_child: Optional[int] = None,
-        warmup: bool = True,
-        material: Optional[str] = None,
-        material_groups: Optional[Any] = None,
-        adaptive: bool = False,
-        online: Any = False,
-        consume_forward: bool = False,
-        batch_verify: Any = False,
-        retry: Optional[Any] = None,
-        deadline: Optional[Any] = None,
-        chaos: Optional[Any] = None,
-        journal: Optional[Any] = None,
-        resume: bool = False,
-        trace: Optional[str] = None,
+        *legacy: Any,
+        config: Optional[SweepConfig] = None,
         **runner_kwargs: Any,
     ) -> None:
-        # SessionPool validates executor/chunksize/max_tasks_per_child/
+        # SweepConfig validates executor/chunksize/max_tasks_per_child/
         # material/online/batch_verify/consume_forward up front, so a bad
         # sweep fails at construction, not mid-fan-out.
-        self._pool = SessionPool(
-            runner=runner,
-            backend=backend,
-            executor=executor,
-            workers=workers,
-            chunksize=chunksize,
-            max_tasks_per_child=max_tasks_per_child,
-            warmup=warmup,
-            material=material,
-            material_groups=material_groups,
-            adaptive=adaptive,
-            online=online,
-            consume_forward=consume_forward,
-            batch_verify=batch_verify,
-            retry=retry,
-            deadline=deadline,
-            chaos=chaos,
-            journal=journal,
-            resume=resume,
-            trace=trace,
-            **runner_kwargs,
+        config, runner_kwargs = resolve_legacy_config(
+            config,
+            legacy,
+            runner_kwargs,
+            defaults={"backend": "pooled", "executor": "process"},
+            owner="ParallelSweep",
         )
+        self._pool = SessionPool(runner=runner, config=config, **runner_kwargs)
 
     @property
     def executor(self) -> str:
@@ -282,10 +212,12 @@ class ParallelSweep:
         if not self._pool.online:
             return SessionPool(
                 runner=self._pool.runner,
-                backend=self._pool.backend,
-                executor="inline",
-                batch_verify=batch_verify,
-                trace=self._pool.trace,
+                config=SweepConfig(
+                    backend=self._pool.backend,
+                    executor="inline",
+                    batch_verify=batch_verify,
+                    trace=self._pool.trace,
+                ),
                 **self._pool.runner_kwargs,
             )
         from repro.runtime.material import MATERIAL_DISK
@@ -299,13 +231,15 @@ class ParallelSweep:
             )
         return SessionPool(
             runner=self._pool.runner,
-            backend=self._pool.backend,
-            executor="inline",
-            material=MATERIAL_DISK,
-            material_groups=self._pool.material_groups,
-            online=plan,
-            batch_verify=batch_verify,
-            trace=self._pool.trace,
+            config=SweepConfig(
+                backend=self._pool.backend,
+                executor="inline",
+                material=MATERIAL_DISK,
+                material_groups=self._pool.material_groups,
+                online=plan,
+                batch_verify=batch_verify,
+                trace=self._pool.trace,
+            ),
             **self._pool.runner_kwargs,
         )
 

@@ -16,6 +16,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.runtime.config import SweepConfig
 from repro.runtime.pool import TrialResult, compare_trace_digests, trace_digest
 from repro.runtime.sweep import ParallelSweep
 from repro.scenarios.adversaries import make_adversary
@@ -587,67 +588,84 @@ def run_matrix(
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
     max_tasks_per_child: Optional[int] = None,
+    warmup: bool = True,
     material: Optional[str] = None,
     adaptive: bool = False,
     online: bool = False,
     consume_forward: bool = False,
     batch_verify: Any = False,
     chaos: Optional[Any] = None,
+    retry: Optional[Any] = None,
+    deadline: Optional[Any] = None,
+    journal: Optional[Any] = None,
+    resume: bool = False,
+    trace: Optional[str] = None,
+    config: Optional[SweepConfig] = None,
 ) -> MatrixReport:
     """Execute every cell through a :class:`ParallelSweep`.
 
     Cells are dispatched by index into ``specs`` (the cell pins its own
     backend and seed), so results — and therefore the report's cell
-    order — match the spec order under every executor.  ``material``
-    feeds worker warm-up from the preprocessing store instead of
-    recomputing, and ``adaptive`` re-plans the chunk size mid-sweep —
-    cells vary ~10x in cost between ``ubc`` and ``sbc-composed``, which
-    fixed chunks either starve on or drown in IPC.  ``online`` spends
-    the preprocessed randomness pools inside cells, with backend-variant
-    replays of one execution sharing a pool slot (see
-    :func:`online_slots_for`).  ``consume_forward`` offsets that plan by
-    the persisted spend ledger (and reserves the range up front), so
-    successive matrix runs spend fresh slices; backend-variant replays
-    keep sharing slots because the offset is uniform across the plan.
-    ``batch_verify`` batches each cell's verification rounds (``True``
-    or an explicit :class:`~repro.crypto.batch.BatchPolicy`).
-    ``chaos`` (a :class:`~repro.runtime.supervisor.ChaosPlan` or its
-    spec string, process executor only) injects worker faults by cell
-    index; supervised recovery keeps the matrix digest-equal.
+    order — match the spec order under every executor.  Execution knobs
+    are best passed as one ``config=``
+    :class:`~repro.runtime.config.SweepConfig` — the same object
+    ``SessionPool``/``ParallelSweep`` take, so the matrix accepts the
+    identical knob set (the pre-config signature silently lacked
+    ``retry``/``deadline``/``journal``/``resume``/``trace``); the
+    individual keywords remain as a shim.  Two knobs are interpreted,
+    not forwarded: the backend is forced to ``sequential`` at the pool
+    level (each cell pins its own backend as a matrix axis), and
+    ``online=True`` becomes an
+    :class:`~repro.runtime.material.OnlinePlan` whose backend-variant
+    replays of one execution share a pool slot (see
+    :func:`online_slots_for`) — so the cross-backend digest check holds
+    in online mode.  ``consume_forward`` offsets that plan by the
+    persisted spend ledger; ``chaos``/``retry``/``deadline``/``journal``
+    /``resume`` configure the supervised process fan-out exactly as in
+    :class:`~repro.runtime.pool.SessionPool`.
     """
     specs = tuple(specs)
-    online_plan: Any = False
-    if online:
+    if config is None:
+        config = SweepConfig(
+            backend="sequential",
+            executor=executor,
+            workers=workers,
+            chunksize=chunksize,
+            max_tasks_per_child=max_tasks_per_child,
+            warmup=warmup,
+            material=material,
+            adaptive=adaptive,
+            online=online,
+            consume_forward=consume_forward,
+            batch_verify=batch_verify,
+            chaos=chaos,
+            retry=retry,
+            deadline=deadline,
+            journal=journal,
+            resume=resume,
+            trace=trace,
+        )
+    online_plan: Any = config.online
+    if config.online and isinstance(config.online, bool):
         from repro.runtime.material import OnlinePlan
 
         online_plan = OnlinePlan.for_tasks(
             range(len(specs)),
             slots=online_slots_for(specs),
-            consume_forward=consume_forward,
+            consume_forward=config.consume_forward,
         )
-    elif consume_forward:
-        raise ValueError(
-            "consume_forward offsets the online plan by the spend "
-            "ledger; it needs online=True"
-        )
+    config = config.replace(
+        backend="sequential", online=online_plan, consume_forward=False
+    )
     sweep = ParallelSweep(
         runner=run_scenario_trial,
-        backend="sequential",
-        executor=executor,
-        workers=workers,
-        chunksize=chunksize,
-        max_tasks_per_child=max_tasks_per_child,
-        material=material,
-        adaptive=adaptive,
-        online=online_plan,
-        batch_verify=batch_verify,
-        chaos=chaos,
+        config=config,
         specs=specs,
     )
     report = sweep.run(range(len(specs)))
     return MatrixReport(
         cells=[trial.outputs for trial in report.results],
-        executor=executor,
+        executor=config.executor,
         wall_time_s=report.wall_time_s,
     )
 
